@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the attacks themselves: host-side cost of one
+//! replay cycle, of the Replayer's probe/prime step, and of small
+//! end-to-end attack sessions. These are the knobs that determine how many
+//! replays a figure harness can afford per second of wall clock.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use microscope_channels::port_contention::{run_attack, PortContentionConfig};
+use microscope_core::SessionBuilder;
+use microscope_cpu::{Assembler, ContextId, Reg};
+use microscope_mem::VAddr;
+use microscope_os::WalkTuning;
+use microscope_victims::layout::DataLayout;
+
+/// One full replay loop: N replays of a two-load victim.
+fn bench_replay_cycle(c: &mut Criterion) {
+    for (name, replays) in [("attack/10_replays", 10u64), ("attack/100_replays", 100)] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut builder = SessionBuilder::new();
+                    let aspace = builder.new_aspace(1);
+                    let mut layout =
+                        DataLayout::new(builder.phys(), aspace, VAddr(0x1000_0000));
+                    let handle = layout.page(64);
+                    let transmit = layout.page(64);
+                    let mut asm = Assembler::new();
+                    asm.imm(Reg(1), handle.0)
+                        .imm(Reg(3), transmit.0)
+                        .load(Reg(2), Reg(1), 0)
+                        .load(Reg(4), Reg(3), 0)
+                        .halt();
+                    builder.victim(asm.finish(), aspace);
+                    let id = builder
+                        .module()
+                        .provide_replay_handle(ContextId(0), handle);
+                    builder.module().recipe_mut(id).replays_per_step = replays;
+                    builder.build()
+                },
+                |mut session| {
+                    let report = session.run(50_000_000);
+                    assert_eq!(report.replays(), replays);
+                    std::hint::black_box(report.cycles)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+/// The probing cache attack step (probe 64 lines + prime).
+fn bench_probe_prime(c: &mut Criterion) {
+    use microscope_cpu::{BranchPredictor, HwParts, PredictorConfig};
+    use microscope_mem::{
+        AddressSpace, PageWalker, PhysMem, PteFlags, TlbHierarchy, TlbHierarchyConfig,
+        WalkerConfig,
+    };
+    c.bench_function("attack/probe_prime_64_lines", |b| {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let base = VAddr(0x200_0000);
+        aspace.alloc_map(&mut phys, base, 4096, PteFlags::user_data());
+        let addrs: Vec<VAddr> = (0..64).map(|i| base.offset(i * 64)).collect();
+        let mut hw = HwParts {
+            phys,
+            hier: microscope_cache::MemoryHierarchy::new(Default::default()),
+            tlb: TlbHierarchy::new(TlbHierarchyConfig::default()),
+            walker: PageWalker::new(WalkerConfig::default()),
+            predictor: BranchPredictor::new(PredictorConfig::default()),
+        };
+        b.iter(|| {
+            let probes = microscope_os::probe_latencies(&mut hw, aspace, &addrs);
+            microscope_os::prime_lines(&mut hw, aspace, &addrs);
+            std::hint::black_box(probes.len())
+        });
+    });
+}
+
+/// A miniature end-to-end port-contention session (SMT machine).
+fn bench_port_contention_session(c: &mut Criterion) {
+    c.bench_function("attack/port_contention_mini", |b| {
+        let cfg = PortContentionConfig {
+            samples: 50,
+            replays: 40,
+            handler_cycles: 500,
+            walk: WalkTuning::Long,
+            max_cycles: 5_000_000,
+            ambient_interrupt_retires: None,
+        };
+        b.iter(|| std::hint::black_box(run_attack(true, &cfg).monitor_samples.len()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replay_cycle, bench_probe_prime, bench_port_contention_session
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the simulator substrates themselves: how fast
+//! the reproduction simulates, which bounds how large an experiment the
+//! figure harnesses can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use microscope_cache::{HierarchyConfig, MemoryHierarchy, PAddr};
+use microscope_cpu::{Assembler, Cond, MachineBuilder, Reg};
+use microscope_mem::{AddressSpace, PageWalker, PhysMem, PteFlags, VAddr, WalkerConfig};
+use microscope_victims::aes::{self, KeySize};
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    c.bench_function("cache/l1_hit", |b| {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.access(PAddr(0x1000));
+        b.iter(|| std::hint::black_box(h.access(PAddr(0x1000))));
+    });
+    c.bench_function("cache/miss_fill_flush", |b| {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        b.iter(|| {
+            let r = h.access(PAddr(0x2000));
+            h.flush_line(PAddr(0x2000));
+            std::hint::black_box(r)
+        });
+    });
+}
+
+fn bench_page_walks(c: &mut Criterion) {
+    let mut phys = PhysMem::new();
+    let aspace = AddressSpace::new(&mut phys, 1);
+    let va = VAddr(0x1234_5000);
+    let frame = phys.alloc_frame();
+    aspace.map(&mut phys, va, frame, PteFlags::user_data());
+    c.bench_function("walker/warm_walk", |b| {
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut walker = PageWalker::new(WalkerConfig::default());
+        walker.walk(&mut phys, &mut hier, &aspace, va, false);
+        b.iter(|| {
+            std::hint::black_box(walker.walk(&mut phys, &mut hier, &aspace, va, false).latency)
+        });
+    });
+    c.bench_function("walker/cold_walk_with_flush", |b| {
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut walker = PageWalker::new(WalkerConfig::default());
+        b.iter(|| {
+            for pa in aspace.entry_paddrs(&phys, va).into_iter().flatten() {
+                hier.flush_line(pa);
+            }
+            walker.pwc_mut().flush_all();
+            std::hint::black_box(walker.walk(&mut phys, &mut hier, &aspace, va, false).latency)
+        });
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine/10k_cycles_alu_loop", |b| {
+        let build = || {
+            let mut asm = Assembler::new();
+            let (i, n, acc) = (Reg(1), Reg(2), Reg(3));
+            asm.imm(i, 0).imm(n, u64::MAX).imm(acc, 0);
+            let top = asm.label();
+            asm.bind(top);
+            asm.alu_imm(microscope_cpu::AluOp::Add, acc, acc, 3)
+                .alu_imm(microscope_cpu::AluOp::Add, i, i, 1)
+                .branch(Cond::Lt, i, n, top)
+                .halt();
+            MachineBuilder::new().context(asm.finish()).build()
+        };
+        b.iter_batched(
+            build,
+            |mut m| {
+                m.run(10_000);
+                std::hint::black_box(m.cycle())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let key: Vec<u8> = (0..16).collect();
+    let block = *b"criterion block!";
+    c.bench_function("aes/reference_decrypt", |b| {
+        let ct = aes::encrypt_block(&key, KeySize::Aes128, &block);
+        b.iter(|| std::hint::black_box(aes::decrypt_block(&key, KeySize::Aes128, &ct)));
+    });
+    c.bench_function("aes/simulated_decrypt", |b| {
+        let ct = aes::encrypt_block(&key, KeySize::Aes128, &block);
+        b.iter_batched(
+            || {
+                let mut phys = PhysMem::new();
+                let aspace = AddressSpace::new(&mut phys, 1);
+                let (prog, layout) = aes::build(
+                    &mut phys,
+                    aspace,
+                    VAddr(0x100_0000),
+                    &key,
+                    KeySize::Aes128,
+                    &ct,
+                );
+                (
+                    MachineBuilder::new().phys(phys).context_in(prog, aspace).build(),
+                    layout,
+                    aspace,
+                )
+            },
+            |(mut m, layout, aspace)| {
+                m.run(10_000_000);
+                std::hint::black_box(aes::read_output(&m.hw().phys, aspace, &layout))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_hierarchy, bench_page_walks, bench_machine, bench_aes
+}
+criterion_main!(benches);

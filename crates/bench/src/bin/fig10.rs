@@ -1,0 +1,75 @@
+//! Regenerates **Figure 10** (paper §6.1): latencies of 10,000 monitor
+//! measurements while the victim replays (a) two multiplications or (b)
+//! two divisions — plus the §6.1 headline numbers: over-threshold counts
+//! and their ratio (paper: 4 vs 64, a 16× gap).
+//!
+//! Run with `cargo run --release -p microscope-bench --bin fig10`.
+//! Pass `--samples N` to change the monitor sample count.
+
+use microscope_bench::{histogram, print_table, shape_check, summarize_latencies};
+use microscope_channels::port_contention::{figure10, PortContentionConfig};
+
+fn main() {
+    let mut samples = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--samples" {
+            samples = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--samples N");
+        }
+    }
+    let cfg = PortContentionConfig {
+        samples,
+        replays: samples / 2,
+        ..PortContentionConfig::default()
+    };
+    println!("== Figure 10: port-contention attack ({samples} monitor samples) ==");
+    println!("victim: control-flow secret (Fig. 4c/6); monitor: timed divsd loop (Fig. 7)");
+    println!("replay handle: addq counter on its own page; walk tuning: long\n");
+    let r = figure10(&cfg);
+
+    println!("{}", summarize_latencies("Fig10a (mul victim)", &r.mul_samples));
+    println!("{}", summarize_latencies("Fig10b (div victim)", &r.div_samples));
+    println!("\nFig10a latency histogram (cycles):");
+    print!("{}", histogram(&r.mul_samples, 8, 16));
+    println!("\nFig10b latency histogram (cycles):");
+    print!("{}", histogram(&r.div_samples, 8, 16));
+
+    print_table(
+        &["series", "samples", "over threshold", "threshold"],
+        &[
+            vec![
+                "mul victim (10a)".into(),
+                r.mul_samples.len().to_string(),
+                r.over.0.to_string(),
+                r.threshold.to_string(),
+            ],
+            vec![
+                "div victim (10b)".into(),
+                r.div_samples.len().to_string(),
+                r.over.1.to_string(),
+                r.threshold.to_string(),
+            ],
+        ],
+    );
+    println!("\nover-threshold ratio (div/mul): {:.1}x (paper: 16x — 64 vs 4)", r.ratio);
+
+    let ok1 = shape_check(
+        "few baseline outliers",
+        r.over.0 * 50 < r.mul_samples.len(),
+        &format!("{} of {} mul samples over threshold", r.over.0, r.mul_samples.len()),
+    );
+    let ok2 = shape_check(
+        "division victim clearly distinguishable",
+        r.detects_divisions(8.0),
+        &format!("ratio {:.1}x >= 8x", r.ratio),
+    );
+    let ok3 = shape_check(
+        "secret recovered from one logical run",
+        r.detects_divisions(8.0),
+        "presence of two divide instructions detected",
+    );
+    std::process::exit(if ok1 && ok2 && ok3 { 0 } else { 1 });
+}

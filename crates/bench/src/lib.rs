@@ -1,0 +1,133 @@
+//! Shared output helpers for the figure/table harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig10` | Figure 10a/10b — port-contention latencies, mul vs div victim |
+//! | `fig11` | Figure 11 — Td1 probe latencies across three replays |
+//! | `table1` | Table 1 — side-channel taxonomy, measured |
+//! | `table_defenses` | §8 — countermeasure evaluation |
+//! | `sec7_handles` | §7 — TSX-abort and mispredict replay handles |
+//! | `sec7_rdrand` | §7.2 — RDRAND biasing vs the fence |
+//! | `aes_trace` | §6.2 — full single-run AES access-trace extraction |
+//! | `ablate_walk` | §4.1.2 — speculation-window size vs walk tuning |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Renders a latency series as a compact ASCII scatter summary: count per
+/// bucket, plus min/median/p99/max.
+pub fn summarize_latencies(name: &str, samples: &[u64]) -> String {
+    if samples.is_empty() {
+        return format!("{name}: (no samples)");
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((p * (sorted.len() - 1) as f64).round()) as usize];
+    format!(
+        "{name}: n={} min={} p50={} p99={} max={}",
+        samples.len(),
+        sorted[0],
+        pct(0.50),
+        pct(0.99),
+        sorted[sorted.len() - 1],
+    )
+}
+
+/// Renders an ASCII histogram with the given bucket width.
+pub fn histogram(samples: &[u64], bucket: u64, max_rows: usize) -> String {
+    if samples.is_empty() {
+        return String::from("(empty)\n");
+    }
+    let max = *samples.iter().max().expect("non-empty");
+    let buckets = (max / bucket + 1).min(max_rows as u64);
+    let mut counts = vec![0usize; buckets as usize];
+    let mut overflow = 0usize;
+    for s in samples {
+        let b = s / bucket;
+        if (b as usize) < counts.len() {
+            counts[b as usize] += 1;
+        } else {
+            overflow += 1;
+        }
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, c) in counts.iter().enumerate() {
+        let bar = "#".repeat((c * 60).div_ceil(peak).min(60));
+        out.push_str(&format!(
+            "{:>6}-{:<6} {:>6} {}\n",
+            i as u64 * bucket,
+            (i as u64 + 1) * bucket - 1,
+            c,
+            bar
+        ));
+    }
+    if overflow > 0 {
+        out.push_str(&format!("   (+{overflow} beyond range)\n"));
+    }
+    out
+}
+
+/// Prints an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// A PASS/FAIL shape check, printed and returned.
+pub fn shape_check(name: &str, ok: bool, detail: &str) -> bool {
+    println!(
+        "[{}] {} — {}",
+        if ok { "PASS" } else { "FAIL" },
+        name,
+        detail
+    );
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_percentiles() {
+        let s = summarize_latencies("x", &[1, 2, 3, 4, 100]);
+        assert!(s.contains("n=5"));
+        assert!(s.contains("max=100"));
+        assert_eq!(summarize_latencies("y", &[]), "y: (no samples)");
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = histogram(&[0, 1, 10, 1000], 10, 3);
+        assert!(h.contains("beyond range"));
+        assert!(histogram(&[], 10, 3).contains("empty"));
+    }
+
+    #[test]
+    fn shape_check_reports() {
+        assert!(shape_check("t", true, "d"));
+        assert!(!shape_check("t", false, "d"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Physical address and cache-line address newtypes.
+//!
+//! Using distinct types for byte addresses ([`PAddr`]) and line addresses
+//! ([`LineAddr`]) prevents the classic off-by-shift bug where a byte address
+//! is used to index a cache (C-NEWTYPE).
+
+use std::fmt;
+
+/// Bytes per cache line. Matches common Intel parts (and the paper's target,
+/// a Xeon E5-1630 v3).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per (small) page. Only 4 KiB pages are modelled; the paper's attack
+/// operates exclusively on 4 KiB translations.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A physical byte address.
+///
+/// The simulated machine uses a flat physical address space allocated by
+/// [`microscope-mem`]'s physical memory. `PAddr` is a passive value type with
+/// a public field, in the spirit of C structs.
+///
+/// ```
+/// use microscope_cache::{PAddr, LINE_BYTES};
+/// let p = PAddr(0x1234);
+/// assert_eq!(p.line().base().0, 0x1200);
+/// assert_eq!(p.line_offset(), 0x34 % LINE_BYTES);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The cache line containing this address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Offset of this address within its cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Physical page number (address divided by the 4 KiB page size).
+    pub fn ppn(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Offset within the 4 KiB page.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// Address obtained by adding `delta` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on overflow, like ordinary integer addition.
+    pub fn offset(self, delta: u64) -> PAddr {
+        PAddr(self.0 + delta)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(v: u64) -> Self {
+        PAddr(v)
+    }
+}
+
+/// A cache-line address: a physical address shifted right by
+/// `log2(LINE_BYTES)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The base physical (byte) address of this line.
+    pub fn base(self) -> PAddr {
+        PAddr(self.0 * LINE_BYTES)
+    }
+
+    /// The physical page number this line belongs to.
+    pub fn ppn(self) -> u64 {
+        self.base().ppn()
+    }
+
+    /// The `i`-th line after this one.
+    pub fn offset(self, i: u64) -> LineAddr {
+        LineAddr(self.0 + i)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trips_through_base() {
+        let p = PAddr(0xdead_beef);
+        let l = p.line();
+        assert_eq!(l.base().0 % LINE_BYTES, 0);
+        assert_eq!(l.base().line(), l);
+    }
+
+    #[test]
+    fn page_and_line_arithmetic() {
+        let p = PAddr(3 * PAGE_BYTES + 65);
+        assert_eq!(p.ppn(), 3);
+        assert_eq!(p.page_offset(), 65);
+        assert_eq!(p.line_offset(), 1);
+        assert_eq!(p.line().ppn(), 3);
+    }
+
+    #[test]
+    fn offsets_compose() {
+        let p = PAddr(0x1000);
+        assert_eq!(p.offset(LINE_BYTES).line().0, p.line().0 + 1);
+        assert_eq!(p.line().offset(2).base().0, 0x1000 + 2 * LINE_BYTES);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", PAddr(0)).is_empty());
+        assert!(!format!("{}", LineAddr(0)).is_empty());
+        assert_eq!(format!("{:#x}", PAddr(0x40)), "0x40");
+    }
+}

@@ -1,0 +1,103 @@
+//! L1 bank-conflict model (the CacheBleed channel).
+//!
+//! CacheBleed (Yarom, Genkin, Heninger) observes that on some Intel parts the
+//! L1 data cache is organized into banks interleaved at 4-byte granularity;
+//! two simultaneous accesses to the same bank serialize, which leaks the
+//! low address bits of a victim access to a co-resident SMT sibling.
+//!
+//! The CPU model calls [`BankModel::begin_cycle`] once per simulated cycle
+//! and [`BankModel::claim`] for every load issued that cycle; the second and
+//! subsequent claims of the same bank in one cycle pay the conflict penalty.
+
+use crate::addr::PAddr;
+
+/// Per-cycle L1 bank arbitration.
+#[derive(Clone, Debug)]
+pub struct BankModel {
+    banks: usize,
+    penalty: u64,
+    claimed: Vec<u8>,
+    conflicts: u64,
+}
+
+impl BankModel {
+    /// Creates a model with `banks` banks (power of two) and the given
+    /// per-conflict penalty in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two.
+    pub fn new(banks: usize, penalty: u64) -> Self {
+        assert!(banks.is_power_of_two(), "banks must be a power of two");
+        BankModel {
+            banks,
+            penalty,
+            claimed: vec![0; banks],
+            conflicts: 0,
+        }
+    }
+
+    /// The bank for an address: 4-byte interleaving.
+    pub fn bank_of(&self, addr: PAddr) -> usize {
+        ((addr.0 >> 2) as usize) & (self.banks - 1)
+    }
+
+    /// Resets per-cycle claims. Call at the start of each simulated cycle.
+    pub fn begin_cycle(&mut self) {
+        for c in &mut self.claimed {
+            *c = 0;
+        }
+    }
+
+    /// Claims the bank for `addr` this cycle; returns the extra latency this
+    /// access pays due to accesses that already claimed the bank.
+    pub fn claim(&mut self, addr: PAddr) -> u64 {
+        let b = self.bank_of(addr);
+        let prior = self.claimed[b];
+        self.claimed[b] = prior.saturating_add(1);
+        if prior == 0 {
+            0
+        } else {
+            self.conflicts += 1;
+            self.penalty * prior as u64
+        }
+    }
+
+    /// Total conflicts observed since construction.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_bank_same_cycle_conflicts() {
+        let mut m = BankModel::new(4, 2);
+        m.begin_cycle();
+        assert_eq!(m.claim(PAddr(0)), 0);
+        assert_eq!(m.claim(PAddr(16)), 2, "bank 0 again (16 >> 2 = 4 % 4 = 0)");
+        assert_eq!(m.claim(PAddr(32)), 4, "third claim pays double");
+        assert_eq!(m.conflicts(), 2);
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut m = BankModel::new(4, 2);
+        m.begin_cycle();
+        assert_eq!(m.claim(PAddr(0)), 0);
+        assert_eq!(m.claim(PAddr(4)), 0);
+        assert_eq!(m.claim(PAddr(8)), 0);
+    }
+
+    #[test]
+    fn begin_cycle_clears_claims() {
+        let mut m = BankModel::new(4, 2);
+        m.begin_cycle();
+        m.claim(PAddr(0));
+        m.begin_cycle();
+        assert_eq!(m.claim(PAddr(0)), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Cache-hierarchy substrate for the MicroScope reproduction.
+//!
+//! MicroScope (ISCA 2019) relies on the memory hierarchy in three distinct
+//! ways, all of which this crate models:
+//!
+//! 1. **Page-walk latency tuning** — the malicious OS flushes (or selectively
+//!    re-warms) the cache lines holding the four page-table entries of the
+//!    *replay handle*, which stretches the hardware page walk from a few
+//!    cycles to more than a thousand. The walk latency must therefore be an
+//!    *emergent* property of cache state, which requires a real simulated
+//!    hierarchy ([`MemoryHierarchy`]) plus a page-walk cache ([`PageWalkCache`]).
+//! 2. **Prime+Probe denoising** — the Replayer primes the hierarchy, lets the
+//!    victim replay, and probes the AES T-table lines; the latency of each
+//!    probe reveals the level the line was found in (Figure 11 of the paper).
+//! 3. **Speculative side effects** — cache fills performed by squashed
+//!    (replayed) instructions persist. Persistence is natural here because
+//!    the hierarchy has no notion of squash; the CPU model simply performs
+//!    fills at execute time.
+//!
+//! The crate is self-contained (physical addresses only) so that the memory
+//! subsystem ([`microscope-mem`]) and CPU ([`microscope-cpu`]) crates can be
+//! layered on top.
+//!
+//! # Example
+//!
+//! ```
+//! use microscope_cache::{HierarchyConfig, MemoryHierarchy, PAddr, Level};
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+//! let a = PAddr(0x4000);
+//! let first = hier.access(a);
+//! assert_eq!(first.level, Level::Memory);
+//! let second = hier.access(a);
+//! assert_eq!(second.level, Level::L1);
+//! assert!(second.latency < first.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod banks;
+mod cache;
+mod config;
+mod dram;
+mod hierarchy;
+mod pwc;
+mod stats;
+
+pub use addr::{LineAddr, PAddr, LINE_BYTES, PAGE_BYTES};
+pub use banks::BankModel;
+pub use cache::{Cache, EvictionVictim};
+pub use config::{CacheConfig, HierarchyConfig};
+pub use dram::{DramConfig, DramModel};
+pub use hierarchy::{AccessResult, Level, MemoryHierarchy};
+pub use pwc::{PageWalkCache, PwcConfig};
+pub use stats::{HierarchyStats, LevelStats};

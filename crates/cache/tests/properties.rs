@@ -1,0 +1,82 @@
+//! Property-based tests for the cache substrate.
+
+use microscope_cache::{
+    Cache, CacheConfig, DramConfig, DramModel, HierarchyConfig, LineAddr, MemoryHierarchy, PAddr,
+    LINE_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never holds more lines than sets × ways, and never holds more
+    /// than `ways` lines in a single set, no matter the access sequence.
+    #[test]
+    fn associativity_never_exceeded(lines in prop::collection::vec(0u64..256, 1..200)) {
+        let cfg = CacheConfig::new(4, 3, 1);
+        let mut c = Cache::new(cfg);
+        for l in lines {
+            c.insert(LineAddr(l));
+        }
+        prop_assert!(c.resident_lines() <= cfg.sets * cfg.ways);
+        for s in 0..cfg.sets {
+            prop_assert!(c.lines_in_set(s).len() <= cfg.ways);
+        }
+    }
+
+    /// After inserting a line it is always observable until it is evicted by
+    /// a conflicting insertion or flushed.
+    #[test]
+    fn insert_makes_present(line in 0u64..10_000) {
+        let mut c = Cache::new(CacheConfig::new(16, 4, 1));
+        c.insert(LineAddr(line));
+        prop_assert!(c.contains(LineAddr(line)));
+        c.flush_line(LineAddr(line));
+        prop_assert!(!c.contains(LineAddr(line)));
+    }
+
+    /// Hierarchy invariant: a second access to the same address is never
+    /// slower than the first (caches only ever help within two accesses).
+    #[test]
+    fn reaccess_is_never_slower(addr in 0u64..(1 << 30)) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let first = h.access(PAddr(addr)).latency;
+        let second = h.access(PAddr(addr)).latency;
+        prop_assert!(second <= first);
+    }
+
+    /// Two addresses in the same line always hit/miss together.
+    #[test]
+    fn line_granularity(base in 0u64..(1 << 24), off in 0u64..LINE_BYTES) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let a = PAddr(base * LINE_BYTES);
+        let b = PAddr(base * LINE_BYTES + off);
+        h.access(a);
+        let r = h.access(b);
+        prop_assert_eq!(r.level, microscope_cache::Level::L1);
+    }
+
+    /// DRAM: accessing the same line twice in a row always yields a row hit
+    /// the second time, and row hits are faster.
+    #[test]
+    fn dram_row_hit_after_access(line in 0u64..(1 << 20)) {
+        let cfg = DramConfig::default();
+        let mut d = DramModel::new(cfg);
+        let first = d.access(LineAddr(line));
+        let second = d.access(LineAddr(line));
+        prop_assert_eq!(first, cfg.row_miss_latency);
+        prop_assert_eq!(second, cfg.row_hit_latency);
+    }
+
+    /// peek_latency is a faithful predictor of access latency.
+    #[test]
+    fn peek_predicts_access(addrs in prop::collection::vec(0u64..(1 << 20), 1..50)) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for a in addrs {
+            let p = PAddr(a);
+            let predicted = h.peek_latency(p);
+            let actual = h.access(p).latency;
+            // DRAM row state can make a cold access *cheaper* than the
+            // worst-case prediction, never more expensive.
+            prop_assert!(actual <= predicted);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The §4.4/§6.2 cache attack on T-table AES, assembled end to end.
+//!
+//! Recipe (paper Figure 8): the replay handle is the `rk` round-key page;
+//! the pivot is the `Td0` table page. The Replayer replays each window a
+//! few times, probing all 64 table lines after every replay and priming
+//! (evicting) them before the next; releasing the handle and arming the
+//! pivot walks the attack through the decryption quarter-round by
+//! quarter-round — single-stepping one logical AES run.
+
+use microscope_cache::HierarchyConfig;
+use microscope_core::{denoise, AttackReport, SessionBuilder};
+use microscope_cpu::ContextId;
+use microscope_mem::VAddr;
+use microscope_os::{Observation, WalkTuning};
+use microscope_victims::aes::{self, AesLayout, KeySize, TableAccess};
+use std::collections::BTreeSet;
+
+/// Attack parameters.
+#[derive(Clone, Debug)]
+pub struct AesAttackConfig {
+    /// AES key.
+    pub key: Vec<u8>,
+    /// Key size (rounds).
+    pub size: KeySize,
+    /// Ciphertext block to decrypt.
+    pub block: [u8; 16],
+    /// Replays per step (the paper's Figure 11 uses 3).
+    pub replays_per_step: u64,
+    /// Handle→pivot steps before the attack disarms.
+    pub max_steps: u64,
+    /// Walk tuning between replays.
+    pub walk: WalkTuning,
+    /// Arm lazily after this many retired victim instructions (lets the
+    /// caches warm naturally first, like the paper's mid-run attack).
+    pub defer_arm: Option<u64>,
+    /// Fault-handler cost.
+    pub handler_cycles: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Cache-hierarchy override (e.g. a small L1 so earlier rounds age
+    /// into L2/L3, reproducing Figure 11's multi-level Replay-0 mixture).
+    pub hier: Option<HierarchyConfig>,
+}
+
+impl Default for AesAttackConfig {
+    fn default() -> Self {
+        AesAttackConfig {
+            key: (0..16).collect(),
+            size: KeySize::Aes128,
+            block: [0; 16],
+            replays_per_step: 3,
+            max_steps: 64,
+            walk: WalkTuning::Length { levels: 2 },
+            defer_arm: None,
+            handler_cycles: 800,
+            max_cycles: 80_000_000,
+            hier: None,
+        }
+    }
+}
+
+/// Everything the attack produced.
+#[derive(Clone, Debug)]
+pub struct AesAttackOutcome {
+    /// The session report (observations grouped by step inside).
+    pub report: AttackReport,
+    /// Where the victim's tables live.
+    pub layout: AesLayout,
+    /// Ground-truth table accesses from the reference implementation.
+    pub ground_truth: Vec<TableAccess>,
+    /// Whether the victim still decrypted correctly (the attack must not
+    /// perturb architectural state).
+    pub decrypted_correctly: bool,
+}
+
+impl AesAttackOutcome {
+    /// Ground-truth set of `(table, line)` pairs for the middle rounds.
+    pub fn truth_lines(&self) -> BTreeSet<(u8, u8)> {
+        self.ground_truth
+            .iter()
+            .filter(|a| a.table < 4)
+            .map(|a| (a.table, a.line()))
+            .collect()
+    }
+
+    /// Lines the attacker extracted: per step, majority-vote the replays;
+    /// union across steps.
+    pub fn extracted_lines(&self, hit_threshold: u64) -> BTreeSet<(u8, u8)> {
+        let mut out = BTreeSet::new();
+        let obs: Vec<Observation> = self.report.module.observations.clone();
+        for (_, step_obs) in denoise::by_step(&obs) {
+            let owned: Vec<Observation> = step_obs.into_iter().cloned().collect();
+            for addr in denoise::majority_hits(&owned, hit_threshold, 0.5) {
+                if let Some(pair) = self.classify_addr(addr) {
+                    out.insert(pair);
+                }
+            }
+        }
+        out
+    }
+
+    /// Maps a probed address back to `(table, line)`.
+    fn classify_addr(&self, addr: VAddr) -> Option<(u8, u8)> {
+        for t in 0..4u8 {
+            let base = self.layout.td[t as usize];
+            if addr.0 >= base.0 && addr.0 < base.0 + 1024 {
+                return Some((t, ((addr.0 - base.0) / 64) as u8));
+            }
+        }
+        None
+    }
+
+    /// (recall, precision) of the extraction against ground truth.
+    pub fn score(&self, hit_threshold: u64) -> (f64, f64) {
+        let truth = self.truth_lines();
+        let got = self.extracted_lines(hit_threshold);
+        if got.is_empty() {
+            return (0.0, 0.0);
+        }
+        let tp = got.intersection(&truth).count() as f64;
+        (tp / truth.len() as f64, tp / got.len() as f64)
+    }
+}
+
+/// Runs the attack.
+pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
+    let (_, ground_truth) = aes::decrypt_block_traced(&cfg.key, cfg.size, &cfg.block);
+    let expected_plain = aes::decrypt_block(&cfg.key, cfg.size, &cfg.block);
+    let mut b = SessionBuilder::new();
+    if let Some(h) = cfg.hier {
+        b.hierarchy(h);
+    }
+    let aspace = b.new_aspace(1);
+    let (prog, layout) = aes::build(
+        b.phys(),
+        aspace,
+        VAddr(0x4000_0000),
+        &cfg.key,
+        cfg.size,
+        &cfg.block,
+    );
+    b.victim(prog, aspace);
+    let id = b.module().provide_replay_handle(ContextId(0), layout.rk);
+    {
+        let module = b.module();
+        module.provide_pivot(id, layout.td[0]);
+        for line in layout.all_table_lines() {
+            module.provide_monitor_addr(id, line);
+        }
+        let recipe = module.recipe_mut(id);
+        recipe.name = "aes-ttable".into();
+        recipe.replays_per_step = cfg.replays_per_step;
+        recipe.max_steps = cfg.max_steps;
+        recipe.walk = cfg.walk;
+        recipe.prime_between_replays = true;
+        recipe.handler_cycles = cfg.handler_cycles;
+    }
+    if let Some(retires) = cfg.defer_arm {
+        b.defer_arm(retires);
+    }
+    let mut session = b.build();
+    let report = session.run(cfg.max_cycles);
+    let out = aes::read_output(
+        &session.machine().hw().phys,
+        aspace,
+        &layout,
+    );
+    AesAttackOutcome {
+        report,
+        layout,
+        ground_truth,
+        decrypted_correctly: out == expected_plain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_logical_run_extracts_table_lines_without_corrupting_aes() {
+        let cfg = AesAttackConfig {
+            max_steps: 48,
+            ..AesAttackConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(
+            out.decrypted_correctly,
+            "the attack must not perturb the decryption"
+        );
+        assert!(out.report.replays() >= cfg.replays_per_step);
+        let (recall, precision) = out.score(100);
+        assert!(
+            recall > 0.8,
+            "most accessed lines extracted: recall={recall:.2} precision={precision:.2}"
+        );
+        assert!(
+            precision > 0.8,
+            "few false lines: recall={recall:.2} precision={precision:.2}"
+        );
+    }
+
+    #[test]
+    fn three_replay_probe_is_stable_across_replays_1_and_2() {
+        // The Figure-11 consistency property.
+        let cfg = AesAttackConfig {
+            replays_per_step: 3,
+            max_steps: 1,
+            defer_arm: Some(150),
+            ..AesAttackConfig::default()
+        };
+        let out = run(&cfg);
+        let obs = &out.report.module.observations;
+        assert!(obs.len() >= 3, "three replays recorded: {}", obs.len());
+        let hits1 = obs[1].hits(100);
+        let hits2 = obs[2].hits(100);
+        assert_eq!(hits1, hits2, "primed replays must agree exactly");
+        assert!(!hits1.is_empty(), "the window touches some lines");
+    }
+}

@@ -1,0 +1,72 @@
+//! Flush+Reload over shared lines.
+//!
+//! Needs either privileged flush (the Replayer has it) or `clflush` on a
+//! shared read-only mapping (e.g. a shared library page). The attacker
+//! flushes the target line, waits, and reloads: a fast reload means the
+//! victim touched the line in between. This is the channel the Replayer
+//! effectively uses in the AES attack when it primes and probes specific
+//! table lines.
+
+use microscope_cache::PAddr;
+use microscope_cpu::HwParts;
+
+/// Flush+Reload on a single shared line.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushReload {
+    target: PAddr,
+    /// Reload latency below this indicates a victim access.
+    pub threshold: u64,
+}
+
+impl FlushReload {
+    /// Creates the channel with a threshold derived from the hierarchy
+    /// (anything at L3 or closer counts as a hit).
+    pub fn new(hw: &HwParts, target: PAddr) -> Self {
+        let cfg = hw.hier.config();
+        FlushReload {
+            target,
+            threshold: cfg.l1.hit_latency + cfg.l2.hit_latency + cfg.l3.hit_latency + 1,
+        }
+    }
+
+    /// Flush the target line out of the whole hierarchy.
+    pub fn flush(&self, hw: &mut HwParts) {
+        hw.hier.flush_line(self.target);
+    }
+
+    /// Reload and classify: `true` when the victim touched the line since
+    /// the last flush. (The reload itself re-fills the line; flush again
+    /// before the next round.)
+    pub fn reload_hit(&self, hw: &mut HwParts) -> bool {
+        hw.hier.access(self.target).latency <= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cache::{HierarchyConfig, MemoryHierarchy};
+    use microscope_cpu::{BranchPredictor, PredictorConfig};
+    use microscope_mem::{PageWalker, PhysMem, TlbHierarchy, TlbHierarchyConfig, WalkerConfig};
+
+    fn hw() -> HwParts {
+        HwParts {
+            phys: PhysMem::new(),
+            hier: MemoryHierarchy::new(HierarchyConfig::default()),
+            tlb: TlbHierarchy::new(TlbHierarchyConfig::default()),
+            walker: PageWalker::new(WalkerConfig::default()),
+            predictor: BranchPredictor::new(PredictorConfig::default()),
+        }
+    }
+
+    #[test]
+    fn distinguishes_touched_from_untouched() {
+        let mut hw = hw();
+        let fr = FlushReload::new(&hw, PAddr(0x9_0000));
+        fr.flush(&mut hw);
+        assert!(!fr.reload_hit(&mut hw), "untouched line reloads slow");
+        fr.flush(&mut hw);
+        hw.hier.access(PAddr(0x9_0000)); // victim touch
+        assert!(fr.reload_hit(&mut hw));
+    }
+}

@@ -1,0 +1,187 @@
+//! Recovering a private exponent from one modular exponentiation.
+//!
+//! The square-and-multiply victim ([`microscope_victims::modexp`]) is the
+//! iterated form of the paper's Control-Flow-Secret scenario (§4.2.3): one
+//! secret-dependent branch per exponent bit. The attack combines the
+//! paper's two loop tools — the pivot (§4.2.2) to step iterations, and
+//! per-replay Replayer probes — and majority-votes each bit's marker lines
+//! across all observations.
+
+use microscope_core::{AttackReport, SessionBuilder};
+use microscope_cpu::ContextId;
+use microscope_mem::VAddr;
+use microscope_os::WalkTuning;
+use microscope_victims::modexp::{self, ModExpLayout};
+
+/// Attack parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ModExpAttackConfig {
+    /// Public base.
+    pub base: u64,
+    /// Secret exponent (ground truth for scoring).
+    pub exponent: u64,
+    /// Public modulus (2..2^20).
+    pub modulus: u64,
+    /// Exponent width in bits (1..=24).
+    pub bits: u32,
+    /// Replays per pivot step.
+    pub replays_per_step: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for ModExpAttackConfig {
+    fn default() -> Self {
+        ModExpAttackConfig {
+            base: 0x1234,
+            exponent: 0xB5,
+            modulus: 1_000_003,
+            bits: 8,
+            replays_per_step: 3,
+            max_cycles: 120_000_000,
+        }
+    }
+}
+
+/// What the attack recovered.
+#[derive(Clone, Debug)]
+pub struct ModExpAttackOutcome {
+    /// The session report.
+    pub report: AttackReport,
+    /// Victim data layout.
+    pub layout: ModExpLayout,
+    /// Recovered exponent bits, MSB at index `bits-1` (matching the
+    /// victim's bit indexing); `None` when no marker was ever observed.
+    pub bits: Vec<Option<bool>>,
+    /// The recovered exponent (unobserved bits as 0).
+    pub exponent: u64,
+    /// Whether the victim's architectural result was correct.
+    pub result_correct: bool,
+}
+
+impl ModExpAttackOutcome {
+    /// Fraction of exponent bits recovered correctly.
+    pub fn accuracy(&self, true_exponent: u64) -> f64 {
+        let n = self.bits.len() as f64;
+        let correct = self
+            .bits
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| **b == Some((true_exponent >> i) & 1 == 1))
+            .count() as f64;
+        correct / n
+    }
+}
+
+/// Runs the attack.
+pub fn run(cfg: &ModExpAttackConfig) -> ModExpAttackOutcome {
+    let mut b = SessionBuilder::new();
+    let aspace = b.new_aspace(1);
+    let (prog, layout) = modexp::build(
+        b.phys(),
+        aspace,
+        VAddr(0x2000_0000),
+        cfg.base,
+        cfg.exponent,
+        cfg.modulus,
+        cfg.bits,
+    );
+    b.victim(prog, aspace);
+    let id = b.module().provide_replay_handle(ContextId(0), layout.handle);
+    {
+        let module = b.module();
+        module.provide_pivot(id, layout.pivot);
+        for m in layout.all_markers() {
+            module.provide_monitor_addr(id, m);
+        }
+        let recipe = module.recipe_mut(id);
+        recipe.name = "modexp-bits".into();
+        recipe.replays_per_step = cfg.replays_per_step;
+        recipe.max_steps = u64::from(cfg.bits) + 2;
+        recipe.walk = WalkTuning::Length { levels: 2 };
+        recipe.prime_between_replays = true;
+    }
+    let mut session = b.build();
+    let report = session.run(cfg.max_cycles);
+    let result = session
+        .machine()
+        .read_virt(ContextId(0), layout.result, 8);
+    let expected = modexp::modexp_reference(cfg.base, cfg.exponent, cfg.modulus, cfg.bits);
+
+    // Vote: for each bit index, count observations where its 0-marker vs
+    // 1-marker line was hot.
+    let mut votes = vec![(0u32, 0u32); cfg.bits as usize];
+    for obs in &report.module.observations {
+        for hit in obs.hits(100) {
+            for i in 0..cfg.bits {
+                if hit == layout.marker(i, false) {
+                    votes[i as usize].0 += 1;
+                } else if hit == layout.marker(i, true) {
+                    votes[i as usize].1 += 1;
+                }
+            }
+        }
+    }
+    let bits: Vec<Option<bool>> = votes
+        .iter()
+        .map(|(zero, one)| match zero.cmp(one) {
+            std::cmp::Ordering::Less => Some(true),
+            std::cmp::Ordering::Greater => Some(false),
+            std::cmp::Ordering::Equal if *zero == 0 => None,
+            // Ties broken toward 1 (the multiply path lingers longer in
+            // the window, so equal counts lean taken).
+            std::cmp::Ordering::Equal => Some(true),
+        })
+        .collect();
+    let exponent = bits
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, b)| acc | (u64::from(*b == Some(true)) << i));
+    ModExpAttackOutcome {
+        report,
+        layout,
+        bits,
+        exponent,
+        result_correct: result == expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_full_exponent_from_one_run() {
+        let cfg = ModExpAttackConfig {
+            exponent: 0xB5, // 1011_0101
+            ..ModExpAttackConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.result_correct, "victim arithmetic must be untouched");
+        let acc = out.accuracy(cfg.exponent);
+        assert!(
+            acc >= 0.85,
+            "bit recovery accuracy {acc:.2}, bits {:?}, exponent {:#x} vs {:#x}",
+            out.bits,
+            out.exponent,
+            cfg.exponent
+        );
+    }
+
+    #[test]
+    fn different_exponents_yield_different_recoveries() {
+        let a = run(&ModExpAttackConfig {
+            exponent: 0x0F,
+            bits: 6,
+            ..ModExpAttackConfig::default()
+        });
+        let b = run(&ModExpAttackConfig {
+            exponent: 0x30,
+            bits: 6,
+            ..ModExpAttackConfig::default()
+        });
+        assert_ne!(a.exponent, b.exponent);
+        assert!(a.accuracy(0x0F) >= 0.8, "{:?}", a.bits);
+        assert!(b.accuracy(0x30) >= 0.8, "{:?}", b.bits);
+    }
+}

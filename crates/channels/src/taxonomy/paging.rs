@@ -1,0 +1,190 @@
+//! Page-table channels: controlled side channels and Sneaky Page
+//! Monitoring. Both are page-granular and noiseless — the OS observes
+//! every page event it cares about.
+
+use super::Measurement;
+use microscope_cpu::{
+    Assembler, Cond, ContextId, FaultEvent, HwParts, MachineBuilder, Reg, Supervisor,
+    SupervisorAction,
+};
+use microscope_mem::{AddressSpace, PhysMem, PteFlags, VAddr, PAGE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a victim that touches `page_a` or `page_b` depending on a
+/// secret bit held in memory (loaded first, so the access pattern — not
+/// data flow — is what leaks).
+fn secret_access_victim(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    secret: bool,
+    page_a: VAddr,
+    page_b: VAddr,
+    secret_page: VAddr,
+) -> microscope_cpu::Program {
+    aspace.alloc_map(phys, secret_page, 8, PteFlags::user_data());
+    let t = aspace.translate(phys, secret_page, true).unwrap();
+    phys.write_u64(t.paddr, u64::from(secret));
+
+    let (s, z, p, v) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut asm = Assembler::new();
+    let take_b = asm.label();
+    let out = asm.label();
+    asm.imm(s, secret_page.0)
+        .load(s, s, 0)
+        .imm(z, 0)
+        .branch(Cond::Ne, s, z, take_b)
+        .imm(p, page_a.0)
+        .load(v, p, 0)
+        .jmp(out);
+    asm.bind(take_b);
+    asm.imm(p, page_b.0).load(v, p, 0);
+    asm.bind(out);
+    asm.halt();
+    asm.finish()
+}
+
+/// A pager that records which pages fault before honestly servicing them —
+/// the Xu-et-al. controlled channel.
+struct RecordingPager {
+    aspace: AddressSpace,
+    fault_pages: Vec<u64>,
+}
+
+impl Supervisor for RecordingPager {
+    fn on_page_fault(&mut self, hw: &mut HwParts, ev: &FaultEvent) -> SupervisorAction {
+        self.fault_pages.push(ev.fault.vaddr.vpn());
+        if self
+            .aspace
+            .set_present(&mut hw.phys, ev.fault.vaddr, true)
+            .is_none()
+        {
+            let frame = hw.phys.alloc_frame();
+            self.aspace
+                .map(&mut hw.phys, ev.fault.vaddr, frame, PteFlags::user_data());
+        }
+        hw.tlb.invlpg(ev.fault.vaddr, self.aspace.pcid());
+        SupervisorAction::cycles(600)
+    }
+}
+
+/// Controlled side channel: both candidate pages are unmapped; the OS sees
+/// exactly one fault and learns the branch direction (page granularity,
+/// zero noise).
+pub fn controlled_channel_experiment(trials: u32, seed: u64) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0;
+    for _ in 0..trials {
+        let secret = rng.gen_bool(0.5);
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let page_a = VAddr(0x100_0000);
+        let page_b = VAddr(0x200_0000);
+        let prog = secret_access_victim(
+            &mut phys,
+            aspace,
+            secret,
+            page_a,
+            page_b,
+            VAddr(0x300_0000),
+        );
+        // Neither page is mapped: the access itself faults.
+        let pager = RecordingPager {
+            aspace,
+            fault_pages: Vec::new(),
+        };
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .supervisor(Box::new(pager))
+            .build();
+        m.run(2_000_000);
+        assert!(m.context(ContextId(0)).halted());
+        // Read the observation back out: which page did the OS see fault?
+        // (The pager was moved into the machine; infer from page tables —
+        // exactly one of the two pages is now mapped.)
+        let a_mapped = aspace.translate(&m.hw().phys, page_a, false).is_ok();
+        let b_mapped = aspace.translate(&m.hw().phys, page_b, false).is_ok();
+        let guess = match (a_mapped, b_mapped) {
+            (false, true) => true,
+            (true, false) => false,
+            // Speculation down the wrong branch path cannot fault pages in
+            // this design (faults deliver only at retirement), so both
+            // mapped should not happen; guess pessimistically.
+            _ => !secret,
+        };
+        if guess == secret {
+            correct += 1;
+        }
+    }
+    Measurement {
+        single_trace_accuracy: f64::from(correct) / f64::from(trials),
+        trials,
+        samples_per_run: 1,
+    }
+}
+
+/// Sneaky Page Monitoring: pages stay mapped; the OS clears Accessed bits
+/// before the run and scans them afterwards — no faults, no AEXs, still
+/// page-granular and noiseless.
+pub fn spm_experiment(trials: u32, seed: u64) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0;
+    for _ in 0..trials {
+        let secret = rng.gen_bool(0.5);
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let page_a = VAddr(0x100_0000);
+        let page_b = VAddr(0x200_0000);
+        aspace.alloc_map(&mut phys, page_a, PAGE_BYTES, PteFlags::user_data());
+        aspace.alloc_map(&mut phys, page_b, PAGE_BYTES, PteFlags::user_data());
+        let prog = secret_access_victim(
+            &mut phys,
+            aspace,
+            secret,
+            page_a,
+            page_b,
+            VAddr(0x300_0000),
+        );
+        // OS clears A bits (it just mapped them, so they are clear).
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
+        m.run(2_000_000);
+        let a_bit = aspace.accessed(&m.hw().phys, page_a).unwrap();
+        let b_bit = aspace.accessed(&m.hw().phys, page_b).unwrap();
+        let guess = match (a_bit, b_bit) {
+            (false, true) => true,
+            (true, false) => false,
+            // Both accessed can happen via wrong-path speculation (the
+            // walker sets A bits speculatively!). SPM then has to guess.
+            _ => rng.gen_bool(0.5),
+        };
+        if guess == secret {
+            correct += 1;
+        }
+    }
+    Measurement {
+        single_trace_accuracy: f64::from(correct) / f64::from(trials),
+        trials,
+        samples_per_run: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_channel_is_noiseless() {
+        let m = controlled_channel_experiment(8, 42);
+        assert_eq!(m.single_trace_accuracy, 1.0, "{m:?}");
+    }
+
+    #[test]
+    fn spm_recovers_the_page_sequence() {
+        let m = spm_experiment(8, 43);
+        assert!(m.single_trace_accuracy >= 0.75, "{m:?}");
+    }
+}

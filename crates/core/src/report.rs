@@ -1,0 +1,36 @@
+//! The result of running an attack session.
+
+use microscope_cpu::{MachineStats, RunExit};
+use microscope_os::ModuleShared;
+
+/// Everything the attacker has after one session run.
+#[derive(Clone, Debug)]
+pub struct AttackReport {
+    /// Why the run ended.
+    pub exit: RunExit,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// The module's observations (probe latencies, fault log, replay and
+    /// step counters).
+    pub module: ModuleShared,
+    /// Machine statistics (per-context squash/fault/retire counters).
+    pub stats: MachineStats,
+    /// Timing samples read from the monitor's buffer, when a monitor with a
+    /// sample buffer was configured.
+    pub monitor_samples: Vec<u64>,
+    /// `(division issues, divider wait cycles)` — aggregate port-contention
+    /// ground truth for calibration tests.
+    pub div_stats: (u64, u64),
+}
+
+impl AttackReport {
+    /// Replays performed for recipe 0 (the common single-recipe case).
+    pub fn replays(&self) -> u64 {
+        self.module.replays.first().copied().unwrap_or(0)
+    }
+
+    /// Whether every installed recipe completed.
+    pub fn all_recipes_finished(&self) -> bool {
+        !self.module.finished.is_empty() && self.module.finished.iter().all(|f| *f)
+    }
+}

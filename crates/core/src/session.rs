@@ -1,0 +1,261 @@
+//! Attack-session assembly and execution.
+
+use crate::report::AttackReport;
+use microscope_cache::HierarchyConfig;
+use microscope_cpu::{
+    ContextId, CoreConfig, Machine, MachineBuilder, Program, RunExit,
+};
+use microscope_enclave::{Enclave, EnclaveRegion};
+use microscope_mem::{
+    AddressSpace, PhysMem, TlbHierarchyConfig, VAddr, WalkerConfig,
+};
+use microscope_os::{Kernel, MicroScopeModule, Process, SharedHandle};
+
+/// Where a monitor program stores its timing samples, so the session can
+/// read them back after the run.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorBuffer {
+    /// Base virtual address (in the monitor's address space).
+    pub base: VAddr,
+    /// Number of 8-byte samples.
+    pub samples: u64,
+}
+
+/// Builds an [`AttackSession`] out of a victim, an optional monitor, and a
+/// MicroScope module configured with attack recipes.
+pub struct SessionBuilder {
+    core: CoreConfig,
+    hier: HierarchyConfig,
+    tlb: TlbHierarchyConfig,
+    walker: WalkerConfig,
+    phys: PhysMem,
+    victim: Option<(Program, AddressSpace)>,
+    victim_enclave: Option<EnclaveRegion>,
+    monitor: Option<(Program, AddressSpace, Option<MonitorBuffer>)>,
+    module: MicroScopeModule,
+    defer_arm: Option<u64>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// Starts an empty session with default hardware configuration.
+    pub fn new() -> Self {
+        SessionBuilder {
+            core: CoreConfig::default(),
+            hier: HierarchyConfig::default(),
+            tlb: TlbHierarchyConfig::default(),
+            walker: WalkerConfig::default(),
+            phys: PhysMem::new(),
+            victim: None,
+            victim_enclave: None,
+            monitor: None,
+            module: MicroScopeModule::new(),
+            defer_arm: None,
+        }
+    }
+
+    /// The physical memory being assembled (victims install data here).
+    pub fn phys(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// Allocates a fresh address space in this session's physical memory.
+    pub fn new_aspace(&mut self, pcid: u16) -> AddressSpace {
+        AddressSpace::new(&mut self.phys, pcid)
+    }
+
+    /// Installs the victim (context 0).
+    pub fn victim(&mut self, program: Program, aspace: AddressSpace) -> &mut Self {
+        self.victim = Some((program, aspace));
+        self
+    }
+
+    /// Shields the victim in an enclave over `region`: faults there reach
+    /// the OS at page granularity only (AEX).
+    pub fn victim_enclave(&mut self, region: EnclaveRegion) -> &mut Self {
+        self.victim_enclave = Some(region);
+        self
+    }
+
+    /// Installs the monitor (context 1), optionally with a sample buffer
+    /// the report reads back.
+    pub fn monitor(
+        &mut self,
+        program: Program,
+        aspace: AddressSpace,
+        buffer: Option<MonitorBuffer>,
+    ) -> &mut Self {
+        self.monitor = Some((program, aspace, buffer));
+        self
+    }
+
+    /// The attack module, for recipe installation (Table-2 API).
+    pub fn module(&mut self) -> &mut MicroScopeModule {
+        &mut self.module
+    }
+
+    /// Overrides the core configuration.
+    pub fn core_config(&mut self, cfg: CoreConfig) -> &mut Self {
+        self.core = cfg;
+        self
+    }
+
+    /// Overrides the cache-hierarchy configuration.
+    pub fn hierarchy(&mut self, cfg: HierarchyConfig) -> &mut Self {
+        self.hier = cfg;
+        self
+    }
+
+    /// Overrides the TLB configuration.
+    pub fn tlb(&mut self, cfg: TlbHierarchyConfig) -> &mut Self {
+        self.tlb = cfg;
+        self
+    }
+
+    /// Overrides the walker configuration.
+    pub fn walker(&mut self, cfg: WalkerConfig) -> &mut Self {
+        self.walker = cfg;
+        self
+    }
+
+    /// Defers attack arming until the victim has retired `retires`
+    /// instructions (paper §4.1: the Replayer single-steps the victim close
+    /// to the replay handle, pauses it, and only then sets up the attack).
+    /// Until then the victim runs undisturbed — and warms the caches.
+    pub fn defer_arm(&mut self, retires: u64) -> &mut Self {
+        self.defer_arm = Some(retires);
+        self
+    }
+
+    /// Assembles the machine, arms the module, installs the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no victim was installed.
+    pub fn build(self) -> AttackSession {
+        let (victim_prog, victim_asp) = self.victim.expect("session needs a victim");
+        let shared = self.module.shared();
+        let mut mb = MachineBuilder::new()
+            .core_config(self.core)
+            .hierarchy(self.hier)
+            .tlb(self.tlb)
+            .walker(self.walker)
+            .phys(self.phys)
+            .context_in(victim_prog.clone(), victim_asp);
+        let mut monitor_ctx = None;
+        let mut monitor_buf = None;
+        if let Some((prog, asp, buf)) = &self.monitor {
+            mb = mb.context_in(prog.clone(), *asp);
+            monitor_ctx = Some(ContextId(1));
+            monitor_buf = *buf;
+        }
+        let mut machine = mb.build();
+        // Arm recipes against the real (cold) hardware state — unless
+        // arming is deferred to a stepping interrupt mid-run.
+        let mut module = self.module;
+        match self.defer_arm {
+            None => module.arm(machine.hw_mut(), victim_asp),
+            Some(retires) => {
+                machine.set_step_interrupt(ContextId(0), Some(retires));
+            }
+        }
+        // Build the kernel process table and install it.
+        let enclave = self
+            .victim_enclave
+            .map(|region| Enclave::new(&victim_prog, region));
+        let mut procs = vec![Process {
+            aspace: victim_asp,
+            enclave,
+        }];
+        if let Some((_, asp, _)) = &self.monitor {
+            procs.push(Process {
+                aspace: *asp,
+                enclave: None,
+            });
+        }
+        let mut kernel = Kernel::new(procs, module);
+        if self.defer_arm.is_some() {
+            kernel.arm_on_interrupt(ContextId(0));
+        }
+        machine.replace_supervisor(Box::new(kernel));
+        AttackSession {
+            machine,
+            shared,
+            monitor_ctx,
+            monitor_buf,
+        }
+    }
+}
+
+/// A ready-to-run attack: machine + installed kernel + observation handle.
+pub struct AttackSession {
+    machine: Machine,
+    shared: SharedHandle,
+    monitor_ctx: Option<ContextId>,
+    monitor_buf: Option<MonitorBuffer>,
+}
+
+impl AttackSession {
+    /// The victim's context id.
+    pub const VICTIM: ContextId = ContextId(0);
+
+    /// The machine, for inspection.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (e.g. to arm stepping interrupts).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The monitor context, when one was installed.
+    pub fn monitor_ctx(&self) -> Option<ContextId> {
+        self.monitor_ctx
+    }
+
+    /// Runs for at most `max_cycles` and produces the report.
+    pub fn run(&mut self, max_cycles: u64) -> AttackReport {
+        let exit = self.machine.run(max_cycles);
+        self.report(exit)
+    }
+
+    /// Runs until the monitor halts (useful when the victim spins forever
+    /// under replay), then reports.
+    pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> AttackReport {
+        let ctx = self.monitor_ctx.expect("no monitor installed");
+        let done = self
+            .machine
+            .run_until(max_cycles, |m| m.context(ctx).halted());
+        self.report(if done && self.machine.all_halted() {
+            RunExit::AllHalted
+        } else if done {
+            RunExit::AllHalted // monitor finished; victim may still be captive
+        } else {
+            RunExit::MaxCycles
+        })
+    }
+
+    /// Assembles a report from the current machine state.
+    pub fn report(&self, exit: RunExit) -> AttackReport {
+        let monitor_samples = match (self.monitor_ctx, self.monitor_buf) {
+            (Some(ctx), Some(buf)) => (0..buf.samples)
+                .map(|i| self.machine.read_virt(ctx, buf.base.offset(i * 8), 8))
+                .collect(),
+            _ => Vec::new(),
+        };
+        AttackReport {
+            exit,
+            cycles: self.machine.cycle(),
+            module: self.shared.borrow().clone(),
+            stats: self.machine.stats(),
+            monitor_samples,
+            div_stats: self.machine.ports().div_stats(),
+        }
+    }
+}

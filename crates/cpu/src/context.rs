@@ -1,0 +1,294 @@
+//! One SMT hardware context: architectural state plus its ROB window.
+
+use crate::isa::Reg;
+use crate::program::Program;
+use crate::rob::RobEntry;
+use crate::stats::ContextStats;
+use microscope_cache::{LineAddr, PAddr};
+use microscope_mem::AddressSpace;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a hardware context (0 or 1 on a 2-way SMT core).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId(pub usize);
+
+impl From<usize> for ContextId {
+    fn from(v: usize) -> Self {
+        ContextId(v)
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// An active hardware transaction (Intel-TSX-style).
+#[derive(Clone, Debug)]
+pub struct Txn {
+    /// Where control transfers on abort.
+    pub abort_target: usize,
+    /// Architectural register snapshot restored on abort.
+    pub snapshot_regs: [u64; Reg::COUNT],
+    /// Buffered (not yet globally visible) stores: (paddr, value, size).
+    pub write_buffer: Vec<(PAddr, u64, u8)>,
+    /// Cache lines in the write set; losing any of them from the cache
+    /// hierarchy aborts the transaction — the §7.1 attacker-controlled
+    /// replay handle ("TSX will abort a transaction if dirty data is evicted
+    /// from the private cache").
+    pub write_lines: Vec<LineAddr>,
+}
+
+impl Txn {
+    /// The most recent buffered value covering `paddr` with `size`, if any
+    /// (transactional store-to-load forwarding).
+    pub fn forwarded_value(&self, paddr: PAddr, size: u8) -> Option<u64> {
+        self.write_buffer
+            .iter()
+            .rev()
+            .find(|(p, _, s)| *p == paddr && *s == size)
+            .map(|(_, v, _)| *v)
+    }
+}
+
+/// Abort cause codes written to [`Reg::TXN_ABORT_CODE`].
+pub(crate) mod abort_code {
+    /// Page fault inside the transaction.
+    pub const FAULT: u64 = 1;
+    /// Write-set line lost from the cache hierarchy (conflict/eviction).
+    pub const CONFLICT: u64 = 2;
+    /// Explicit `XAbort` (the code operand occupies the upper byte).
+    pub const EXPLICIT: u64 = 3;
+}
+
+/// One hardware context.
+#[derive(Clone, Debug)]
+pub struct Context {
+    /// This context's id.
+    pub(crate) id: ContextId,
+    /// The program it runs.
+    pub(crate) program: Program,
+    /// Its address space (CR3 + PCID).
+    pub(crate) aspace: AddressSpace,
+    /// Next fetch pc.
+    pub(crate) pc: usize,
+    /// Architectural register file.
+    pub(crate) arch_regs: [u64; Reg::COUNT],
+    /// The reorder buffer window.
+    pub(crate) rob: VecDeque<RobEntry>,
+    /// Register alias table: youngest in-flight producer per register.
+    pub(crate) rat: [Option<u64>; Reg::COUNT],
+    /// Set when `Halt` retires (or the program runs out with an empty ROB).
+    pub(crate) halted: bool,
+    /// Set when fetch passed a `Halt` or the end of the program.
+    pub(crate) fetch_stopped: bool,
+    /// Fetch resumes at this cycle (squash penalties, fault handlers).
+    pub(crate) fetch_stalled_until: u64,
+    /// RDRAND entropy seed (deterministic per context).
+    pub(crate) rdrand_seed: u64,
+    /// Active transaction, if any.
+    pub(crate) txn: Option<Txn>,
+    /// The next dispatched instruction must act as a fence
+    /// (fence-after-pipeline-flush defense).
+    pub(crate) post_flush_fence: bool,
+    /// Stepping interrupt period (retired instructions), if armed.
+    pub(crate) step_every: Option<u64>,
+    /// Retired instructions since the last stepping interrupt.
+    pub(crate) retires_since_step: u64,
+    /// Statistics.
+    pub(crate) stats: ContextStats,
+}
+
+impl Context {
+    pub(crate) fn new(id: ContextId, program: Program, aspace: AddressSpace, seed: u64) -> Self {
+        Context {
+            id,
+            program,
+            aspace,
+            pc: 0,
+            arch_regs: [0; Reg::COUNT],
+            rob: VecDeque::new(),
+            rat: [None; Reg::COUNT],
+            halted: false,
+            fetch_stopped: false,
+            fetch_stalled_until: 0,
+            rdrand_seed: seed,
+            txn: None,
+            post_flush_fence: false,
+            step_every: None,
+            retires_since_step: 0,
+            stats: ContextStats::default(),
+        }
+    }
+
+    /// This context's id.
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// The architectural (retired) value of a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.arch_regs[r.index()]
+    }
+
+    /// The architectural value of a register, as an `f64`.
+    pub fn reg_f64(&self, r: Reg) -> f64 {
+        f64::from_bits(self.reg(r))
+    }
+
+    /// Sets a register architecturally (host-side setup between runs).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.arch_regs[r.index()] = value;
+    }
+
+    /// The context's address space handle.
+    pub fn aspace(&self) -> AddressSpace {
+        self.aspace
+    }
+
+    /// Current fetch pc.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the context has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether a transaction is active.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The program this context runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &ContextStats {
+        &self.stats
+    }
+
+    /// Number of in-flight (un-retired) instructions.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Rebuilds the register alias table from the surviving ROB entries
+    /// (after a squash).
+    pub(crate) fn rebuild_rat(&mut self) {
+        self.rat = [None; Reg::COUNT];
+        for e in &self.rob {
+            if let Some(dst) = e.dst() {
+                self.rat[dst.index()] = Some(e.seq);
+            }
+        }
+    }
+
+    /// Discards every in-flight instruction; returns how many were dropped.
+    pub(crate) fn squash_all(&mut self) -> usize {
+        let n = self.rob.len();
+        self.rob.clear();
+        self.rat = [None; Reg::COUNT];
+        n
+    }
+
+    /// Discards entries strictly younger than `seq`; returns the count.
+    pub(crate) fn squash_younger_than(&mut self, seq: u64) -> usize {
+        let keep = self.rob.iter().take_while(|e| e.seq <= seq).count();
+        let n = self.rob.len() - keep;
+        self.rob.truncate(keep);
+        self.rebuild_rat();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Inst};
+    use crate::rob::{RobState, Src};
+    use microscope_mem::PhysMem;
+
+    fn dummy_entry(seq: u64, dst: Reg) -> RobEntry {
+        RobEntry {
+            seq,
+            pc: 0,
+            inst: Inst::AluImm {
+                op: AluOp::Add,
+                dst,
+                a: Reg(0),
+                imm: 0,
+            },
+            state: RobState::Waiting,
+            value: 0,
+            srcs: vec![Src::Ready(0)],
+            fault: None,
+            predicted_taken: false,
+            mem_addr: None,
+            store_value: None,
+            fill_at_retire: None,
+            blocks_younger: false,
+            exec_at_head: false,
+            dispatched_at: 0,
+        }
+    }
+
+    fn ctx() -> Context {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        Context::new(ContextId(0), Program::new(vec![Inst::Halt]), asp, 1)
+    }
+
+    #[test]
+    fn squash_younger_keeps_prefix_and_rebuilds_rat() {
+        let mut c = ctx();
+        c.rob.push_back(dummy_entry(1, Reg(1)));
+        c.rob.push_back(dummy_entry(2, Reg(2)));
+        c.rob.push_back(dummy_entry(3, Reg(1)));
+        c.rebuild_rat();
+        assert_eq!(c.rat[1], Some(3));
+        let dropped = c.squash_younger_than(2);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.rob.len(), 2);
+        assert_eq!(c.rat[1], Some(1), "RAT points at surviving producer");
+        assert_eq!(c.rat[2], Some(2));
+    }
+
+    #[test]
+    fn squash_all_clears_everything() {
+        let mut c = ctx();
+        c.rob.push_back(dummy_entry(1, Reg(1)));
+        assert_eq!(c.squash_all(), 1);
+        assert_eq!(c.rob_occupancy(), 0);
+        assert!(c.rat.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn txn_forwarding_returns_youngest_match() {
+        let t = Txn {
+            abort_target: 0,
+            snapshot_regs: [0; Reg::COUNT],
+            write_buffer: vec![
+                (PAddr(0x100), 1, 8),
+                (PAddr(0x100), 2, 8),
+                (PAddr(0x108), 3, 8),
+            ],
+            write_lines: vec![],
+        };
+        assert_eq!(t.forwarded_value(PAddr(0x100), 8), Some(2));
+        assert_eq!(t.forwarded_value(PAddr(0x100), 4), None, "size must match");
+        assert_eq!(t.forwarded_value(PAddr(0x110), 8), None);
+    }
+
+    #[test]
+    fn reg_f64_round_trip() {
+        let mut c = ctx();
+        c.set_reg(Reg(5), 2.5f64.to_bits());
+        assert_eq!(c.reg_f64(Reg(5)), 2.5);
+    }
+}

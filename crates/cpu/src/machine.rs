@@ -1,0 +1,1081 @@
+//! The simulated machine: SMT contexts + shared memory system + supervisor.
+
+use crate::config::CoreConfig;
+use crate::context::{abort_code, Context, ContextId, Txn};
+use crate::isa::{FpOp, Inst, Reg};
+use crate::ports::{PortKind, Ports};
+use crate::predictor::BranchPredictor;
+use crate::program::Program;
+use crate::rob::{RobEntry, RobState, SquashCause, Src};
+use crate::stats::MachineStats;
+use crate::supervisor::{
+    FaultEvent, HwParts, InterruptEvent, NullSupervisor, Supervisor, SupervisorAction,
+};
+use crate::trace::{TraceKind, Tracer};
+use microscope_cache::{HierarchyConfig, MemoryHierarchy, PAddr};
+use microscope_mem::{
+    AddressSpace, PageFault, PageWalker, PhysMem, TlbEntry, TlbHierarchy, TlbHierarchyConfig,
+    VAddr, WalkerConfig, PAGE_BYTES,
+};
+
+/// SplitMix64: a tiny, high-quality mixing function for the DRBG model.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every context halted.
+    AllHalted,
+    /// The cycle budget was exhausted first.
+    MaxCycles,
+}
+
+/// Builder for [`Machine`].
+///
+/// ```
+/// use microscope_cpu::{Assembler, MachineBuilder, Reg};
+/// let mut asm = Assembler::new();
+/// asm.imm(Reg(1), 5).halt();
+/// let mut m = MachineBuilder::new().context(asm.finish()).build();
+/// m.run(100);
+/// assert_eq!(m.context(0.into()).reg(Reg(1)), 5);
+/// ```
+pub struct MachineBuilder {
+    core: CoreConfig,
+    hier: HierarchyConfig,
+    tlb: TlbHierarchyConfig,
+    walker: WalkerConfig,
+    phys: Option<PhysMem>,
+    contexts: Vec<(Program, Option<AddressSpace>)>,
+    supervisor: Option<Box<dyn Supervisor>>,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineBuilder {
+    /// Starts a builder with default configurations.
+    pub fn new() -> Self {
+        MachineBuilder {
+            core: CoreConfig::default(),
+            hier: HierarchyConfig::default(),
+            tlb: TlbHierarchyConfig::default(),
+            walker: WalkerConfig::default(),
+            phys: None,
+            contexts: Vec::new(),
+            supervisor: None,
+        }
+    }
+
+    /// Sets the core configuration.
+    pub fn core_config(mut self, cfg: CoreConfig) -> Self {
+        self.core = cfg;
+        self
+    }
+
+    /// Sets the cache-hierarchy configuration.
+    pub fn hierarchy(mut self, cfg: HierarchyConfig) -> Self {
+        self.hier = cfg;
+        self
+    }
+
+    /// Sets the TLB configuration.
+    pub fn tlb(mut self, cfg: TlbHierarchyConfig) -> Self {
+        self.tlb = cfg;
+        self
+    }
+
+    /// Sets the page-walker configuration.
+    pub fn walker(mut self, cfg: WalkerConfig) -> Self {
+        self.walker = cfg;
+        self
+    }
+
+    /// Provides pre-populated physical memory (victim data, page tables).
+    pub fn phys(mut self, phys: PhysMem) -> Self {
+        self.phys = Some(phys);
+        self
+    }
+
+    /// Adds a context with a fresh, empty address space.
+    pub fn context(mut self, program: Program) -> Self {
+        self.contexts.push((program, None));
+        self
+    }
+
+    /// Adds a context running `program` in an existing address space.
+    pub fn context_in(mut self, program: Program, aspace: AddressSpace) -> Self {
+        self.contexts.push((program, Some(aspace)));
+        self
+    }
+
+    /// Installs the supervisor (default: [`NullSupervisor`]).
+    pub fn supervisor(mut self, s: Box<dyn Supervisor>) -> Self {
+        self.supervisor = Some(s);
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context was added.
+    pub fn build(self) -> Machine {
+        assert!(!self.contexts.is_empty(), "machine needs at least one context");
+        let mut phys = self.phys.unwrap_or_default();
+        let tracer = Tracer::new(self.core.trace);
+        let contexts: Vec<Context> = self
+            .contexts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (prog, asp))| {
+                let asp = asp.unwrap_or_else(|| AddressSpace::new(&mut phys, 100 + i as u16));
+                Context::new(
+                    ContextId(i),
+                    prog,
+                    asp,
+                    self.core.rdrand_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                )
+            })
+            .collect();
+        Machine {
+            cfg: self.core,
+            cycle: 0,
+            hw: HwParts {
+                phys,
+                hier: MemoryHierarchy::new(self.hier),
+                tlb: TlbHierarchy::new(self.tlb),
+                walker: PageWalker::new(self.walker),
+                predictor: BranchPredictor::new(self.core.predictor),
+            },
+            ports: Ports::new(),
+            contexts,
+            supervisor: self.supervisor.unwrap_or_else(|| Box::new(NullSupervisor)),
+            tracer,
+            next_seq: 1,
+        }
+    }
+}
+
+/// The whole simulated machine.
+pub struct Machine {
+    cfg: CoreConfig,
+    cycle: u64,
+    hw: HwParts,
+    ports: Ports,
+    contexts: Vec<Context>,
+    supervisor: Box<dyn Supervisor>,
+    tracer: Tracer,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("contexts", &self.contexts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Read access to a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn context(&self, id: ContextId) -> &Context {
+        &self.contexts[id.0]
+    }
+
+    /// Mutable access to a context (host-side setup).
+    pub fn context_mut(&mut self, id: ContextId) -> &mut Context {
+        &mut self.contexts[id.0]
+    }
+
+    /// Number of hardware contexts.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// The privileged hardware view.
+    pub fn hw(&self) -> &HwParts {
+        &self.hw
+    }
+
+    /// Mutable privileged hardware view (host/OS-side setup).
+    pub fn hw_mut(&mut self) -> &mut HwParts {
+        &mut self.hw
+    }
+
+    /// Execution-port state (divider occupancy statistics).
+    pub fn ports(&self) -> &Ports {
+        &self.ports
+    }
+
+    /// The event trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycle,
+            contexts: self.contexts.iter().map(|c| c.stats).collect(),
+        }
+    }
+
+    /// Swaps the supervisor, returning the previous one.
+    ///
+    /// Attack sessions use this to a) build the machine (creating the real
+    /// cache/TLB/walker state), b) *arm* an attack module against that
+    /// state, and only then c) install the kernel containing the module.
+    pub fn replace_supervisor(&mut self, s: Box<dyn Supervisor>) -> Box<dyn Supervisor> {
+        std::mem::replace(&mut self.supervisor, s)
+    }
+
+    /// Arms a stepping interrupt on `ctx`: the supervisor's `on_interrupt`
+    /// fires after every `every` retired instructions (CacheZoom/SGX-Step).
+    pub fn set_step_interrupt(&mut self, ctx: ContextId, every: Option<u64>) {
+        self.contexts[ctx.0].step_every = every;
+        self.contexts[ctx.0].retires_since_step = 0;
+    }
+
+    /// Host-side virtual-memory read through a context's page tables
+    /// (no timing side effects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address does not translate.
+    pub fn read_virt(&self, ctx: ContextId, vaddr: VAddr, size: u8) -> u64 {
+        let asp = self.contexts[ctx.0].aspace;
+        let t = asp
+            .translate(&self.hw.phys, vaddr, false)
+            .unwrap_or_else(|e| panic!("read_virt: {e}"));
+        self.hw.phys.read_sized(t.paddr, size)
+    }
+
+    /// Host-side virtual-memory write through a context's page tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address does not translate as writable.
+    pub fn write_virt(&mut self, ctx: ContextId, vaddr: VAddr, value: u64, size: u8) {
+        let asp = self.contexts[ctx.0].aspace;
+        let t = asp
+            .translate(&self.hw.phys, vaddr, true)
+            .unwrap_or_else(|e| panic!("write_virt: {e}"));
+        self.hw.phys.write_sized(t.paddr, value, size);
+    }
+
+    /// Whether every context halted.
+    pub fn all_halted(&self) -> bool {
+        self.contexts.iter().all(|c| c.halted)
+    }
+
+    /// Runs until every context halts or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        for _ in 0..max_cycles {
+            if self.all_halted() {
+                return RunExit::AllHalted;
+            }
+            self.step();
+        }
+        if self.all_halted() {
+            RunExit::AllHalted
+        } else {
+            RunExit::MaxCycles
+        }
+    }
+
+    /// Runs until `pred` holds (checked each cycle) or `max_cycles` elapse.
+    /// Returns whether the predicate fired.
+    pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Machine) -> bool) -> bool {
+        for _ in 0..max_cycles {
+            if pred(self) {
+                return true;
+            }
+            if self.all_halted() {
+                return pred(self);
+            }
+            self.step();
+        }
+        pred(self)
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.ports.begin_cycle();
+        self.hw.hier.bank_model().begin_cycle();
+        self.retire_stage(now);
+        self.complete_stage(now);
+        self.issue_stage(now);
+        self.fetch_stage(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Retire
+    // ------------------------------------------------------------------
+
+    fn retire_stage(&mut self, now: u64) {
+        for ci in 0..self.contexts.len() {
+            if self.contexts[ci].halted {
+                continue;
+            }
+            self.check_txn_conflict(ci, now);
+            for _ in 0..self.cfg.retire_width {
+                if !self.retire_one(ci, now) {
+                    break;
+                }
+            }
+            // A context whose program ran out (and whose window drained)
+            // halts implicitly.
+            let c = &mut self.contexts[ci];
+            if !c.halted && c.fetch_stopped && c.rob.is_empty() {
+                c.halted = true;
+            }
+        }
+    }
+
+    /// Aborts the context's transaction if any write-set line left the
+    /// cache hierarchy (attacker flush or capacity eviction).
+    fn check_txn_conflict(&mut self, ci: usize, now: u64) {
+        let lost = match &self.contexts[ci].txn {
+            Some(txn) => txn
+                .write_lines
+                .iter()
+                .any(|l| self.hw.hier.level_of(l.base()).is_none()),
+            None => return,
+        };
+        if lost {
+            self.txn_abort(ci, abort_code::CONFLICT, now);
+        }
+    }
+
+    /// Retires at most one instruction; returns whether retirement may
+    /// continue this cycle.
+    fn retire_one(&mut self, ci: usize, now: u64) -> bool {
+        let head_state = match self.contexts[ci].rob.front() {
+            Some(e) => e.state,
+            None => return false,
+        };
+        match head_state {
+            RobState::Done => self.commit_head(ci, now),
+            RobState::Faulted => {
+                if self.contexts[ci].txn.is_some() {
+                    self.txn_abort(ci, abort_code::FAULT, now);
+                } else {
+                    self.deliver_page_fault(ci, now);
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    fn commit_head(&mut self, ci: usize, now: u64) -> bool {
+        let entry = self.contexts[ci].rob.front().expect("head exists").clone();
+        let ctx = &mut self.contexts[ci];
+        // Architectural register write.
+        if let Some(dst) = entry.dst() {
+            ctx.arch_regs[dst.index()] = entry.value;
+            if ctx.rat[dst.index()] == Some(entry.seq) {
+                ctx.rat[dst.index()] = None;
+            }
+        }
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::Retire {
+                seq: entry.seq,
+                pc: entry.pc,
+            },
+        );
+        match entry.inst {
+            Inst::Store { size, .. } => {
+                let (_, paddr, _) = entry.mem_addr.expect("committed store has an address");
+                let value = entry.store_value.expect("committed store has data");
+                let ctx = &mut self.contexts[ci];
+                if let Some(txn) = &mut ctx.txn {
+                    txn.write_buffer.push((paddr, value, size));
+                    if !txn.write_lines.contains(&paddr.line()) {
+                        txn.write_lines.push(paddr.line());
+                    }
+                } else {
+                    self.hw.phys.write_sized(paddr, value, size);
+                }
+                // Either way the line is filled (TSX pins the write set in
+                // cache; ordinary stores write-allocate).
+                self.hw.hier.access(paddr);
+                self.contexts[ci].stats.stores_retired += 1;
+            }
+            Inst::Load { .. } => {
+                if let Some(paddr) = entry.fill_at_retire {
+                    // Invisible-speculation defense: the fill that was
+                    // suppressed at execute happens now, non-speculatively.
+                    self.hw.hier.access(paddr);
+                }
+            }
+            Inst::XBegin { abort_target } => {
+                let ctx = &mut self.contexts[ci];
+                ctx.txn = Some(Txn {
+                    abort_target,
+                    snapshot_regs: ctx.arch_regs,
+                    write_buffer: Vec::new(),
+                    write_lines: Vec::new(),
+                });
+            }
+            Inst::XEnd => {
+                let ctx = &mut self.contexts[ci];
+                if let Some(txn) = ctx.txn.take() {
+                    for (paddr, value, size) in txn.write_buffer {
+                        self.hw.phys.write_sized(paddr, value, size);
+                    }
+                    self.contexts[ci].stats.txn_commits += 1;
+                }
+            }
+            Inst::XAbort { code } => {
+                if self.contexts[ci].txn.is_some() {
+                    self.contexts[ci].rob.pop_front();
+                    self.contexts[ci].stats.retired += 1;
+                    self.txn_abort(ci, abort_code::EXPLICIT | (u64::from(code) << 8), now);
+                    return false;
+                }
+            }
+            Inst::Halt => {
+                let ctx = &mut self.contexts[ci];
+                ctx.rob.clear();
+                ctx.rat = [None; Reg::COUNT];
+                ctx.halted = true;
+                ctx.stats.retired += 1;
+                return false;
+            }
+            _ => {}
+        }
+        let ctx = &mut self.contexts[ci];
+        ctx.rob.pop_front();
+        ctx.stats.retired += 1;
+        // Stepping interrupt (CacheZoom/SGX-Step style).
+        if let Some(every) = ctx.step_every {
+            ctx.retires_since_step += 1;
+            if ctx.retires_since_step >= every {
+                ctx.retires_since_step = 0;
+                self.deliver_interrupt(ci, now);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn deliver_interrupt(&mut self, ci: usize, now: u64) {
+        let next_pc = self.contexts[ci]
+            .rob
+            .front()
+            .map(|e| e.pc)
+            .unwrap_or(self.contexts[ci].pc);
+        let ev = InterruptEvent {
+            ctx: ContextId(ci),
+            next_pc,
+            cycle: now,
+        };
+        let action = self.supervisor.on_interrupt(&mut self.hw, &ev);
+        self.apply_stall(&action, now);
+        let ctx = &mut self.contexts[ci];
+        if action.disarm_step_interrupt {
+            ctx.step_every = None;
+        }
+        let dropped = ctx.squash_all();
+        ctx.stats.record_squash(SquashCause::Interrupt, dropped);
+        ctx.pc = next_pc;
+        ctx.fetch_stopped = false;
+        ctx.fetch_stalled_until = now + self.cfg.squash_penalty + action.handler_cycles;
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::Squash {
+                cause: SquashCause::Interrupt,
+                discarded: dropped,
+            },
+        );
+    }
+
+    fn deliver_page_fault(&mut self, ci: usize, now: u64) {
+        let head = self.contexts[ci].rob.front().expect("faulting head");
+        let fault = head.fault.expect("faulted entry carries its fault");
+        let pc = head.pc;
+        let ev = FaultEvent {
+            ctx: ContextId(ci),
+            pc,
+            fault,
+            cycle: now,
+        };
+        self.contexts[ci].stats.page_faults += 1;
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::Fault {
+                vaddr: fault.vaddr,
+                pc,
+            },
+        );
+        let action: SupervisorAction = self.supervisor.on_page_fault(&mut self.hw, &ev);
+        self.apply_stall(&action, now);
+        let ctx = &mut self.contexts[ci];
+        let dropped = ctx.squash_all();
+        ctx.stats.record_squash(SquashCause::PageFault, dropped);
+        // Precise exceptions: resume at the faulting instruction. If the OS
+        // did not repair the translation, this is a replay.
+        ctx.pc = pc;
+        ctx.fetch_stopped = false;
+        ctx.fetch_stalled_until = now + self.cfg.squash_penalty + action.handler_cycles;
+        if self.cfg.fence_after_pipeline_flush {
+            ctx.post_flush_fence = true;
+        }
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::Squash {
+                cause: SquashCause::PageFault,
+                discarded: dropped,
+            },
+        );
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::HandlerReturn {
+                handler_cycles: action.handler_cycles,
+            },
+        );
+    }
+
+    /// Honors an OS descheduling request: the named context stops fetching
+    /// for the given duration (its in-flight window drains normally).
+    fn apply_stall(&mut self, action: &SupervisorAction, now: u64) {
+        if let Some((ctx, cycles)) = action.stall_context {
+            if let Some(c) = self.contexts.get_mut(ctx.0) {
+                c.fetch_stalled_until = c.fetch_stalled_until.max(now + cycles);
+            }
+        }
+    }
+
+    fn txn_abort(&mut self, ci: usize, code: u64, now: u64) {
+        let ctx = &mut self.contexts[ci];
+        let txn = ctx.txn.take().expect("txn_abort without a transaction");
+        ctx.arch_regs = txn.snapshot_regs;
+        ctx.arch_regs[Reg::TXN_ABORT_CODE.index()] = code;
+        let dropped = ctx.squash_all();
+        ctx.stats.record_squash(SquashCause::TxnAbort, dropped);
+        ctx.pc = txn.abort_target;
+        ctx.fetch_stopped = false;
+        ctx.fetch_stalled_until = now + self.cfg.squash_penalty;
+        if self.cfg.fence_after_pipeline_flush {
+            ctx.post_flush_fence = true;
+        }
+        self.tracer.record(
+            now,
+            ContextId(ci),
+            TraceKind::Squash {
+                cause: SquashCause::TxnAbort,
+                discarded: dropped,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Complete
+    // ------------------------------------------------------------------
+
+    fn complete_stage(&mut self, now: u64) {
+        for ci in 0..self.contexts.len() {
+            let mut idx = 0;
+            'entries: while idx < self.contexts[ci].rob.len() {
+                let (done, seq) = {
+                    let e = &self.contexts[ci].rob[idx];
+                    match e.state {
+                        RobState::Executing { done_at } if done_at <= now => (true, e.seq),
+                        _ => (false, e.seq),
+                    }
+                };
+                if !done {
+                    idx += 1;
+                    continue;
+                }
+                let has_fault = self.contexts[ci].rob[idx].fault.is_some();
+                if has_fault {
+                    self.contexts[ci].rob[idx].state = RobState::Faulted;
+                    idx += 1;
+                    continue;
+                }
+                // Mark done and broadcast the value to younger consumers.
+                let value = self.contexts[ci].rob[idx].value;
+                self.contexts[ci].rob[idx].state = RobState::Done;
+                self.tracer
+                    .record(now, ContextId(ci), TraceKind::Complete { seq });
+                let len = self.contexts[ci].rob.len();
+                for j in idx + 1..len {
+                    self.contexts[ci].rob[j].deliver(seq, value);
+                }
+                // Branch resolution.
+                let (is_branch, taken, predicted, target, pc) = {
+                    let e = &self.contexts[ci].rob[idx];
+                    match e.inst {
+                        Inst::Branch { target, .. } => {
+                            (true, e.value != 0, e.predicted_taken, target, e.pc)
+                        }
+                        _ => (false, false, false, 0, 0),
+                    }
+                };
+                if is_branch {
+                    let mispredict = taken != predicted;
+                    self.hw.predictor.train(pc, taken, mispredict);
+                    if mispredict {
+                        let ctx = &mut self.contexts[ci];
+                        let dropped = ctx.squash_younger_than(seq);
+                        ctx.stats.record_squash(SquashCause::Mispredict, dropped);
+                        ctx.pc = if taken { target } else { pc + 1 };
+                        ctx.fetch_stopped = false;
+                        ctx.fetch_stalled_until = now + self.cfg.squash_penalty;
+                        if self.cfg.fence_after_pipeline_flush {
+                            ctx.post_flush_fence = true;
+                        }
+                        self.tracer.record(
+                            now,
+                            ContextId(ci),
+                            TraceKind::Squash {
+                                cause: SquashCause::Mispredict,
+                                discarded: dropped,
+                            },
+                        );
+                        break 'entries;
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self, now: u64) {
+        let n = self.contexts.len();
+        let mut budget = self.cfg.issue_width;
+        // Per-context gating indices, computed in one O(rob) pass each:
+        //  - first entry that is not Done (fences/serialized ops need all
+        //    older entries Done);
+        //  - first incomplete entry that blocks younger issue;
+        //  - first store with an unresolved address (loads may not pass it).
+        let mut first_not_done = vec![usize::MAX; n];
+        let mut first_blocker = vec![usize::MAX; n];
+        let mut first_unresolved_store = vec![usize::MAX; n];
+        for ci in 0..n {
+            for (idx, e) in self.contexts[ci].rob.iter().enumerate() {
+                if first_not_done[ci] == usize::MAX && e.state != RobState::Done {
+                    first_not_done[ci] = idx;
+                }
+                if first_blocker[ci] == usize::MAX
+                    && e.blocks_younger
+                    && e.state != RobState::Done
+                {
+                    first_blocker[ci] = idx;
+                }
+                if first_unresolved_store[ci] == usize::MAX
+                    && matches!(e.inst, Inst::Store { .. })
+                    && e.mem_addr.is_none()
+                    && e.fault.is_none()
+                    && !e.is_complete()
+                {
+                    first_unresolved_store[ci] = idx;
+                }
+            }
+        }
+        // Issue oldest-first ACROSS contexts (merge by sequence number).
+        // Age-ordered arbitration is what keeps one SMT context from
+        // starving the other on a contended unit like the divider.
+        let mut cursor = vec![0usize; n];
+        while budget > 0 {
+            let mut best: Option<(u64, usize)> = None;
+            for ci in 0..n {
+                if let Some(e) = self.contexts[ci].rob.get(cursor[ci]) {
+                    if best.map(|(seq, _)| e.seq < seq).unwrap_or(true) {
+                        best = Some((e.seq, ci));
+                    }
+                }
+            }
+            let Some((_, ci)) = best else { break };
+            let idx = cursor[ci];
+            cursor[ci] += 1;
+            if self.can_issue(
+                ci,
+                idx,
+                first_not_done[ci],
+                first_blocker[ci],
+                first_unresolved_store[ci],
+            ) && self.try_execute(ci, idx, now)
+            {
+                budget -= 1;
+            }
+        }
+    }
+
+    fn can_issue(
+        &self,
+        ci: usize,
+        idx: usize,
+        first_not_done: usize,
+        first_blocker: usize,
+        first_unresolved_store: usize,
+    ) -> bool {
+        let e = &self.contexts[ci].rob[idx];
+        if e.state != RobState::Waiting || !e.srcs_ready() {
+            return false;
+        }
+        // Serialized instructions execute only once non-speculative (every
+        // older entry Done).
+        if e.exec_at_head && first_not_done < idx {
+            return false;
+        }
+        // Fences (and the post-flush defensive fence) block younger issue
+        // until they complete; a Faulted fence keeps blocking.
+        if first_blocker < idx {
+            return false;
+        }
+        // Conservative memory disambiguation: a load may not issue past an
+        // older store whose address is still unknown.
+        if matches!(e.inst, Inst::Load { .. }) && first_unresolved_store < idx {
+            return false;
+        }
+        true
+    }
+
+    /// Classification of an instruction for port arbitration.
+    fn classify(&self, inst: &Inst, src_vals: &[u64]) -> (PortKind, u64) {
+        match *inst {
+            Inst::Mul { .. } => (PortKind::Mul, self.cfg.mul_latency),
+            Inst::FOp { op: FpOp::Div, .. } => {
+                let lat = if FpOp::Div.involves_subnormal(src_vals[0], src_vals[1]) {
+                    self.cfg.div.subnormal
+                } else {
+                    self.cfg.div.normal
+                };
+                (PortKind::Div, lat)
+            }
+            Inst::FOp { .. } => (PortKind::Fp, self.cfg.fp_latency),
+            Inst::Load { .. } => (PortKind::Load, 0),
+            Inst::Store { .. } => (PortKind::Store, 0),
+            Inst::Branch { .. } => (PortKind::Branch, self.cfg.alu_latency),
+            Inst::ReadTimer { .. } => (PortKind::Alu, 1),
+            Inst::RdRand { .. } => (PortKind::Alu, 20),
+            _ => (PortKind::Alu, self.cfg.alu_latency),
+        }
+    }
+
+    fn try_execute(&mut self, ci: usize, idx: usize, now: u64) -> bool {
+        let inst = self.contexts[ci].rob[idx].inst;
+        let src_vals = self.contexts[ci].rob[idx].src_values();
+        let (kind, base_lat) = self.classify(&inst, &src_vals);
+        if !self.ports.try_issue(kind, now, base_lat) {
+            return false;
+        }
+        let seq = self.contexts[ci].rob[idx].seq;
+        let pc = self.contexts[ci].rob[idx].pc;
+        self.tracer
+            .record(now, ContextId(ci), TraceKind::Issue { seq, pc });
+        let (value, latency, fault, mem, fill_at_retire, store_value) = match inst {
+            Inst::Imm { value, .. } => (value, base_lat, None, None, None, None),
+            Inst::Mov { .. } => (src_vals[0], base_lat, None, None, None, None),
+            Inst::Alu { op, .. } => (op.apply(src_vals[0], src_vals[1]), base_lat, None, None, None, None),
+            Inst::AluImm { op, imm, .. } => {
+                (op.apply(src_vals[0], imm), base_lat, None, None, None, None)
+            }
+            Inst::Mul { .. } => (
+                src_vals[0].wrapping_mul(src_vals[1]),
+                base_lat,
+                None,
+                None,
+                None,
+                None,
+            ),
+            Inst::FOp { op, .. } => (op.apply(src_vals[0], src_vals[1]), base_lat, None, None, None, None),
+            Inst::Branch { cond, .. } => (
+                u64::from(cond.eval(src_vals[0], src_vals[1])),
+                base_lat,
+                None,
+                None,
+                None,
+                None,
+            ),
+            Inst::ReadTimer { .. } => (now, 1, None, None, None, None),
+            Inst::RdRand { .. } => {
+                // DRBG model: the output buffer refills every
+                // 2^rdrand_refill_log2 cycles; draws within one refill
+                // epoch return the same buffered value.
+                let epoch = now >> self.cfg.rdrand_refill_log2;
+                let v = splitmix64(self.contexts[ci].rdrand_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (v, 20, None, None, None, None)
+            }
+            Inst::Load { offset, size, .. } => {
+                self.contexts[ci].stats.loads_executed += 1;
+                let out = self.execute_memory(ci, idx, now, src_vals[0], offset, size, None);
+                (out.0, out.1, out.2, out.3, out.4, None)
+            }
+            Inst::Store { offset, size, .. } => {
+                let out =
+                    self.execute_memory(ci, idx, now, src_vals[1], offset, size, Some(src_vals[0]));
+                (out.0, out.1, out.2, out.3, out.4, Some(src_vals[0]))
+            }
+            Inst::XAbort { code, .. } => (u64::from(code), base_lat, None, None, None, None),
+            // Fence, Nop, Halt, XBegin, XEnd
+            _ => (0, base_lat, None, None, None, None),
+        };
+        let e = &mut self.contexts[ci].rob[idx];
+        e.value = value;
+        e.fault = fault;
+        e.mem_addr = mem;
+        e.fill_at_retire = fill_at_retire;
+        if store_value.is_some() {
+            e.store_value = store_value;
+        }
+        e.state = RobState::Executing {
+            done_at: now + latency.max(1),
+        };
+        true
+    }
+
+    /// Executes the memory pipeline for a load or store: L1 bank claim,
+    /// TLB lookup, hardware page walk on a miss (the speculation window!),
+    /// then the data-cache access for loads.
+    ///
+    /// Returns `(value, latency, fault, mem_addr, fill_at_retire)`.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_memory(
+        &mut self,
+        ci: usize,
+        idx: usize,
+        _now: u64,
+        base_val: u64,
+        offset: i64,
+        size: u8,
+        store_value: Option<u64>,
+    ) -> (
+        u64,
+        u64,
+        Option<PageFault>,
+        Option<(VAddr, PAddr, u8)>,
+        Option<PAddr>,
+    ) {
+        let is_store = store_value.is_some();
+        let vaddr = VAddr(base_val.wrapping_add_signed(offset));
+        let aspace = self.contexts[ci].aspace;
+        let mut latency = self.hw.hier.bank_model().claim(PAddr(vaddr.0));
+        // TLB.
+        let lookup = self.hw.tlb.lookup(vaddr.vpn(), aspace.pcid());
+        latency += lookup.latency;
+        let translation = match lookup.entry {
+            Some(entry) => {
+                if is_store && !entry.flags.writable {
+                    return (
+                        0,
+                        latency,
+                        Some(PageFault {
+                            vaddr,
+                            kind: microscope_mem::PageFaultKind::Protection,
+                            is_write: true,
+                        }),
+                        None,
+                        None,
+                    );
+                }
+                Ok(PAddr(entry.ppn * PAGE_BYTES + vaddr.page_offset()))
+            }
+            None => {
+                // Hardware page walk — speculative execution continues in
+                // its shadow; its duration is OS-tunable via cache state.
+                let walk =
+                    self.hw
+                        .walker
+                        .walk(&mut self.hw.phys, &mut self.hw.hier, &aspace, vaddr, is_store);
+                latency += walk.latency;
+                match walk.result {
+                    Ok(t) => {
+                        self.hw.tlb.insert(TlbEntry {
+                            vpn: vaddr.vpn(),
+                            ppn: t.paddr.ppn(),
+                            flags: t.flags,
+                            pcid: aspace.pcid(),
+                        });
+                        Ok(t.paddr)
+                    }
+                    Err(fault) => Err(fault),
+                }
+            }
+        };
+        let paddr = match translation {
+            Ok(p) => p,
+            Err(fault) => return (0, latency, Some(fault), None, None),
+        };
+        if is_store {
+            // Stores complete once translated; data is written at commit.
+            return (0, latency + 1, None, Some((vaddr, paddr, size)), None);
+        }
+        // Load data path.
+        let speculative = self.contexts[ci]
+            .rob
+            .iter()
+            .take(idx)
+            .any(|o| o.state != RobState::Done);
+        let mut fill_at_retire = None;
+        if self.cfg.invisible_speculation && speculative {
+            latency += self.hw.hier.peek_latency(paddr);
+            fill_at_retire = Some(paddr);
+        } else {
+            latency += self.hw.hier.access(paddr).latency;
+        }
+        // Value: transactional buffer, then in-flight store forwarding,
+        // then memory.
+        let ctx = &self.contexts[ci];
+        let forwarded = ctx
+            .txn
+            .as_ref()
+            .and_then(|t| t.forwarded_value(paddr, size))
+            .or_else(|| {
+                ctx.rob
+                    .iter()
+                    .take(idx)
+                    .rev()
+                    .find_map(|o| match (o.inst, o.mem_addr, o.store_value) {
+                        (Inst::Store { .. }, Some((_, p, s)), Some(v)) if p == paddr && s == size => {
+                            Some(v)
+                        }
+                        _ => None,
+                    })
+            });
+        let value = forwarded.unwrap_or_else(|| self.hw.phys.read_sized(paddr, size));
+        (value, latency, None, Some((vaddr, paddr, size)), fill_at_retire)
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch / dispatch
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self, now: u64) {
+        for ci in 0..self.contexts.len() {
+            if self.contexts[ci].halted
+                || self.contexts[ci].fetch_stopped
+                || now < self.contexts[ci].fetch_stalled_until
+            {
+                continue;
+            }
+            for _ in 0..self.cfg.fetch_width {
+                if self.contexts[ci].rob.len() >= self.cfg.rob_size {
+                    break;
+                }
+                let pc = self.contexts[ci].pc;
+                let Some(inst) = self.contexts[ci].program.fetch(pc) else {
+                    self.contexts[ci].fetch_stopped = true;
+                    break;
+                };
+                // Unconditional jumps redirect in the frontend (zero width).
+                if let Inst::Jmp { target } = inst {
+                    self.contexts[ci].pc = target;
+                    continue;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                // Operand capture through the RAT.
+                let srcs: Vec<Src> = inst
+                    .sources()
+                    .iter()
+                    .map(|r| {
+                        let ctx = &self.contexts[ci];
+                        match ctx.rat[r.index()] {
+                            Some(pseq) => {
+                                // ROB entries are seq-sorted: binary search.
+                                let pos = ctx.rob.partition_point(|e| e.seq < pseq);
+                                let producer = ctx
+                                    .rob
+                                    .get(pos)
+                                    .filter(|e| e.seq == pseq)
+                                    .expect("RAT points at a live entry");
+                                if producer.state == RobState::Done {
+                                    Src::Ready(producer.value)
+                                } else {
+                                    Src::Pending(pseq)
+                                }
+                            }
+                            None => Src::Ready(ctx.arch_regs[r.index()]),
+                        }
+                    })
+                    .collect();
+                // Next-pc logic and branch prediction.
+                let mut predicted_taken = false;
+                match inst {
+                    Inst::Branch { target, .. } => {
+                        predicted_taken = self.hw.predictor.predict(pc);
+                        self.contexts[ci].pc = if predicted_taken { target } else { pc + 1 };
+                    }
+                    Inst::Halt => {
+                        self.contexts[ci].fetch_stopped = true;
+                        self.contexts[ci].pc = pc + 1;
+                    }
+                    _ => self.contexts[ci].pc = pc + 1,
+                }
+                let exec_at_head = matches!(inst, Inst::Fence)
+                    || (matches!(inst, Inst::RdRand { .. }) && self.cfg.rdrand_is_fenced);
+                let mut blocks_younger = matches!(inst, Inst::Fence);
+                if self.contexts[ci].post_flush_fence {
+                    blocks_younger = true;
+                    self.contexts[ci].post_flush_fence = false;
+                }
+                let entry = RobEntry {
+                    seq,
+                    pc,
+                    inst,
+                    state: RobState::Waiting,
+                    value: 0,
+                    srcs,
+                    fault: None,
+                    predicted_taken,
+                    mem_addr: None,
+                    store_value: None,
+                    fill_at_retire: None,
+                    blocks_younger,
+                    exec_at_head,
+                    dispatched_at: now,
+                };
+                if let Some(dst) = entry.dst() {
+                    self.contexts[ci].rat[dst.index()] = Some(seq);
+                }
+                self.contexts[ci].rob.push_back(entry);
+                self.contexts[ci].stats.dispatched += 1;
+                self.tracer
+                    .record(now, ContextId(ci), TraceKind::Fetch { seq, pc });
+                if matches!(inst, Inst::Halt) {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Programs and the label-resolving assembler.
+
+use crate::isa::{AluOp, Cond, FpOp, Inst, Reg};
+use std::sync::Arc;
+
+/// A finished, immutable instruction sequence.
+///
+/// Programs are shared (`Arc`) between the builder that creates them and
+/// the context that executes them; they are *not* stored in simulated
+/// memory (instruction fetch does not page-fault in this model — the
+/// paper's replay handles are data accesses).
+#[derive(Clone, Debug)]
+pub struct Program {
+    insts: Arc<[Inst]>,
+}
+
+impl Program {
+    /// Wraps an instruction vector. Prefer [`Assembler`] for anything with
+    /// control flow.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        Program {
+            insts: insts.into(),
+        }
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterator over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Inst> {
+        self.insts.iter()
+    }
+
+    /// Program indices of every memory-access instruction — the candidate
+    /// replay handles an attacker scans for (paper §4.1.1: "programs have
+    /// many potential replay handles").
+    pub fn memory_access_indices(&self) -> Vec<usize> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_memory())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A forward-referencable branch target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental program builder with labels.
+///
+/// All emit methods return `&mut Self` for chaining (non-consuming builder).
+///
+/// ```
+/// use microscope_cpu::{Assembler, Reg, Cond};
+/// let mut asm = Assembler::new();
+/// let (i, n, acc) = (Reg(1), Reg(2), Reg(3));
+/// let loop_top = asm.label();
+/// asm.imm(i, 0).imm(n, 10).imm(acc, 0);
+/// asm.bind(loop_top);
+/// asm.alu_imm(microscope_cpu::AluOp::Add, acc, acc, 2)
+///     .alu_imm(microscope_cpu::AluOp::Add, i, i, 1)
+///     .branch(Cond::Lt, i, n, loop_top)
+///     .halt();
+/// let prog = asm.finish();
+/// assert!(prog.len() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+        self
+    }
+
+    /// Current instruction index (the pc of the *next* emitted instruction).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// `dst = value`
+    pub fn imm(&mut self, dst: Reg, value: u64) -> &mut Self {
+        self.push(Inst::Imm { dst, value })
+    }
+
+    /// `dst = bits of the f64 value`
+    pub fn imm_f64(&mut self, dst: Reg, value: f64) -> &mut Self {
+        self.imm(dst, value.to_bits())
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Inst::Mov { dst, src })
+    }
+
+    /// `dst = a <op> b`
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, dst, a, b })
+    }
+
+    /// `dst = a <op> imm`
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, a: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::AluImm { op, dst, a, imm })
+    }
+
+    /// Integer multiply.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Mul { dst, a, b })
+    }
+
+    /// Floating-point divide (`divsd`).
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::FOp {
+            op: FpOp::Div,
+            dst,
+            a,
+            b,
+        })
+    }
+
+    /// Floating-point multiply (`mulsd`).
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::FOp {
+            op: FpOp::Mul,
+            dst,
+            a,
+            b,
+        })
+    }
+
+    /// Floating-point add (`addsd`).
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::FOp {
+            op: FpOp::Add,
+            dst,
+            a,
+            b,
+        })
+    }
+
+    /// 8-byte load.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load_sized(dst, base, offset, 8)
+    }
+
+    /// Load of 1, 2, 4 or 8 bytes (zero-extended).
+    pub fn load_sized(&mut self, dst: Reg, base: Reg, offset: i64, size: u8) -> &mut Self {
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            size,
+        })
+    }
+
+    /// 8-byte store.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store_sized(src, base, offset, 8)
+    }
+
+    /// Store of 1, 2, 4 or 8 bytes.
+    pub fn store_sized(&mut self, src: Reg, base: Reg, offset: i64, size: u8) -> &mut Self {
+        self.push(Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Branch {
+            cond,
+            a,
+            b,
+            target: usize::MAX,
+        })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Jmp { target: usize::MAX })
+    }
+
+    /// `dst = cycle counter`.
+    pub fn read_timer(&mut self, dst: Reg) -> &mut Self {
+        self.push(Inst::ReadTimer { dst, after: None })
+    }
+
+    /// `dst = cycle counter`, ordered after the producer of `after`.
+    pub fn read_timer_after(&mut self, dst: Reg, after: Reg) -> &mut Self {
+        self.push(Inst::ReadTimer {
+            dst,
+            after: Some(after),
+        })
+    }
+
+    /// Hardware random number into `dst`.
+    pub fn rdrand(&mut self, dst: Reg) -> &mut Self {
+        self.push(Inst::RdRand { dst })
+    }
+
+    /// Serializing fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::Fence)
+    }
+
+    /// Transaction begin, aborting to `label`.
+    pub fn xbegin(&mut self, abort_label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), abort_label));
+        self.push(Inst::XBegin {
+            abort_target: usize::MAX,
+        })
+    }
+
+    /// Transaction commit.
+    pub fn xend(&mut self) -> &mut Self {
+        self.push(Inst::XEnd)
+    }
+
+    /// Explicit transaction abort.
+    pub fn xabort(&mut self, code: u8) -> &mut Self {
+        self.push(Inst::XAbort { code })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(&mut self) -> Program {
+        let mut insts = std::mem::take(&mut self.insts);
+        for (at, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0].expect("unbound label referenced by instruction");
+            match &mut insts[at] {
+                Inst::Branch { target: t, .. }
+                | Inst::Jmp { target: t }
+                | Inst::XBegin { abort_target: t } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        self.labels.clear();
+        Program::new(insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        let out = asm.label();
+        asm.bind(top);
+        asm.imm(Reg(1), 0);
+        asm.branch(Cond::Eq, Reg(1), Reg(1), out);
+        asm.jmp(top);
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish();
+        match p.fetch(1).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        match p.fetch(2).unwrap() {
+            Inst::Jmp { target } => assert_eq!(target, 0),
+            other => panic!("expected jmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_finish() {
+        let mut asm = Assembler::new();
+        let l = asm.label();
+        asm.jmp(l);
+        let _ = asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn memory_access_indices_lists_loads_and_stores() {
+        let mut asm = Assembler::new();
+        asm.imm(Reg(1), 0x1000)
+            .load(Reg(2), Reg(1), 0)
+            .nop()
+            .store(Reg(2), Reg(1), 8)
+            .halt();
+        assert_eq!(asm.finish().memory_access_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let p = Program::new(vec![Inst::Nop]);
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().count(), 1);
+    }
+}

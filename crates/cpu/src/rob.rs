@@ -1,0 +1,194 @@
+//! Reorder-buffer entries.
+
+use crate::isa::{Inst, Reg};
+use microscope_cache::PAddr;
+use microscope_mem::{PageFault, VAddr};
+
+/// Why a set of ROB entries was squashed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SquashCause {
+    /// A page fault retired — the MicroScope replay mechanism.
+    PageFault,
+    /// A branch resolved against its prediction (§7.2 bounded replays).
+    Mispredict,
+    /// A transaction aborted (§7.1 TSX replay handle).
+    TxnAbort,
+    /// A timer interrupt was delivered (CacheZoom/SGX-Step stepping).
+    Interrupt,
+}
+
+impl std::fmt::Display for SquashCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SquashCause::PageFault => "page-fault",
+            SquashCause::Mispredict => "mispredict",
+            SquashCause::TxnAbort => "txn-abort",
+            SquashCause::Interrupt => "interrupt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Lifecycle of a ROB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobState {
+    /// Dispatched, waiting for operands and/or a port.
+    Waiting,
+    /// Issued; result (or fault) materializes at `done_at`.
+    Executing {
+        /// Completion cycle.
+        done_at: u64,
+    },
+    /// Completed; value is valid; eligible to retire.
+    Done,
+    /// Completed with a fault; raises a precise exception at the ROB head.
+    Faulted,
+}
+
+/// A source operand: either already a value or waiting on a producer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Resolved value.
+    Ready(u64),
+    /// Waiting on the ROB entry with this sequence number.
+    Pending(u64),
+}
+
+impl Src {
+    /// The value, if resolved.
+    pub fn value(self) -> Option<u64> {
+        match self {
+            Src::Ready(v) => Some(v),
+            Src::Pending(_) => None,
+        }
+    }
+}
+
+/// One in-flight instruction.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Global dispatch sequence number (unique, monotonic).
+    pub seq: u64,
+    /// Program index of the instruction.
+    pub pc: usize,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Execution state.
+    pub state: RobState,
+    /// Result value (valid once `Done`).
+    pub value: u64,
+    /// Source operands, parallel to `inst.sources()`.
+    pub srcs: Vec<Src>,
+    /// Fault discovered at execute, delivered when the entry retires.
+    pub fault: Option<PageFault>,
+    /// For branches: the direction predicted at fetch.
+    pub predicted_taken: bool,
+    /// For memory ops: (virtual, physical, size) once the address is known.
+    pub mem_addr: Option<(VAddr, PAddr, u8)>,
+    /// For stores: the data value captured at issue.
+    pub store_value: Option<u64>,
+    /// Cache fill deferred to retirement (invisible-speculation defense).
+    pub fill_at_retire: Option<PAddr>,
+    /// When set, younger instructions may not begin execution until this
+    /// entry completes (fences, fenced RDRAND, post-flush fence defense).
+    pub blocks_younger: bool,
+    /// Whether this entry must only execute non-speculatively (all older
+    /// entries complete): fences and fenced RDRAND.
+    pub exec_at_head: bool,
+    /// Cycle the entry was dispatched (for occupancy statistics).
+    pub dispatched_at: u64,
+}
+
+impl RobEntry {
+    /// Whether every source operand is resolved.
+    pub fn srcs_ready(&self) -> bool {
+        self.srcs.iter().all(|s| matches!(s, Src::Ready(_)))
+    }
+
+    /// The resolved source values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is still pending.
+    pub fn src_values(&self) -> Vec<u64> {
+        self.srcs
+            .iter()
+            .map(|s| s.value().expect("operand not ready"))
+            .collect()
+    }
+
+    /// Substitutes `value` for any pending reference to producer `seq`.
+    pub fn deliver(&mut self, seq: u64, value: u64) {
+        for s in &mut self.srcs {
+            if *s == Src::Pending(seq) {
+                *s = Src::Ready(value);
+            }
+        }
+    }
+
+    /// The destination register, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        self.inst.dst()
+    }
+
+    /// Whether the entry has completed (successfully or with a fault).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, RobState::Done | RobState::Faulted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AluOp;
+
+    fn entry(srcs: Vec<Src>) -> RobEntry {
+        RobEntry {
+            seq: 1,
+            pc: 0,
+            inst: Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg(1),
+                a: Reg(2),
+                b: Reg(3),
+            },
+            state: RobState::Waiting,
+            value: 0,
+            srcs,
+            fault: None,
+            predicted_taken: false,
+            mem_addr: None,
+            store_value: None,
+            fill_at_retire: None,
+            blocks_younger: false,
+            exec_at_head: false,
+            dispatched_at: 0,
+        }
+    }
+
+    #[test]
+    fn delivery_resolves_pending_operands() {
+        let mut e = entry(vec![Src::Pending(7), Src::Ready(3)]);
+        assert!(!e.srcs_ready());
+        e.deliver(7, 40);
+        assert!(e.srcs_ready());
+        assert_eq!(e.src_values(), vec![40, 3]);
+    }
+
+    #[test]
+    fn delivery_ignores_other_seqs() {
+        let mut e = entry(vec![Src::Pending(7)]);
+        e.deliver(8, 99);
+        assert!(!e.srcs_ready());
+    }
+
+    #[test]
+    fn completion_states() {
+        let mut e = entry(vec![]);
+        assert!(!e.is_complete());
+        e.state = RobState::Done;
+        assert!(e.is_complete());
+        e.state = RobState::Faulted;
+        assert!(e.is_complete());
+    }
+}

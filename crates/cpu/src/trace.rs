@@ -1,0 +1,154 @@
+//! Event tracing, used to render the Figure-3 style attack timeline.
+
+use crate::context::ContextId;
+use crate::rob::SquashCause;
+use microscope_mem::VAddr;
+use std::fmt;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Instruction dispatched into the ROB.
+    Fetch {
+        /// Sequence number.
+        seq: u64,
+        /// Program index.
+        pc: usize,
+    },
+    /// Instruction began execution.
+    Issue {
+        /// Sequence number.
+        seq: u64,
+        /// Program index.
+        pc: usize,
+    },
+    /// Instruction completed execution.
+    Complete {
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Instruction retired.
+    Retire {
+        /// Sequence number.
+        seq: u64,
+        /// Program index.
+        pc: usize,
+    },
+    /// Speculative state was squashed.
+    Squash {
+        /// Why.
+        cause: SquashCause,
+        /// How many entries were discarded.
+        discarded: usize,
+    },
+    /// A page fault was delivered to the supervisor.
+    Fault {
+        /// Faulting virtual address.
+        vaddr: VAddr,
+        /// Program index of the faulting instruction.
+        pc: usize,
+    },
+    /// The supervisor returned and the context resumes (after the stall).
+    HandlerReturn {
+        /// Cycles the handler consumed.
+        handler_cycles: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of the event.
+    pub cycle: u64,
+    /// Context the event belongs to.
+    pub ctx: ContextId,
+    /// Event payload.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] ctx{} ", self.cycle, self.ctx.0)?;
+        match self.kind {
+            TraceKind::Fetch { seq, pc } => write!(f, "fetch    seq={seq} pc={pc}"),
+            TraceKind::Issue { seq, pc } => write!(f, "issue    seq={seq} pc={pc}"),
+            TraceKind::Complete { seq } => write!(f, "complete seq={seq}"),
+            TraceKind::Retire { seq, pc } => write!(f, "retire   seq={seq} pc={pc}"),
+            TraceKind::Squash { cause, discarded } => {
+                write!(f, "squash   cause={cause} discarded={discarded}")
+            }
+            TraceKind::Fault { vaddr, pc } => write!(f, "FAULT    {vaddr} pc={pc}"),
+            TraceKind::HandlerReturn { handler_cycles } => {
+                write!(f, "handler  returned after {handler_cycles} cycles")
+            }
+        }
+    }
+}
+
+/// A bounded event recorder.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    cap: usize,
+}
+
+impl Tracer {
+    /// Creates a tracer; when disabled, recording is a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Tracer {
+            events: Vec::new(),
+            enabled,
+            cap: 200_000,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (drops silently once the cap is reached).
+    pub fn record(&mut self, cycle: u64, ctx: ContextId, kind: TraceKind) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(TraceEvent { cycle, ctx, kind });
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Clears the recording.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(false);
+        t.record(1, ContextId(0), TraceKind::Complete { seq: 1 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn events_render_readably() {
+        let e = TraceEvent {
+            cycle: 42,
+            ctx: ContextId(1),
+            kind: TraceKind::Squash {
+                cause: SquashCause::PageFault,
+                discarded: 17,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("page-fault"));
+        assert!(s.contains("17"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Invisible-speculation defenses (InvisiSpec / SafeSpec, §8): speculative
+//! loads fill no cache state until they retire.
+//!
+//! The paper's assessment: such defenses "only block specific covert
+//! channels such as the cache … these protections do not address side
+//! channels on the other shared processor resources, such as port
+//! contention." Both halves are reproduced here.
+
+use crate::DefenseOutcome;
+use microscope_channels::port_contention::{self, PortContentionConfig};
+use microscope_core::{denoise, SessionBuilder};
+use microscope_cpu::{Assembler, ContextId, CoreConfig, Reg};
+use microscope_mem::{VAddr, LINE_BYTES};
+use microscope_os::WalkTuning;
+use microscope_victims::layout::DataLayout;
+
+/// Runs the cache-transmit replay attack (handle + secret-indexed table
+/// load, replayed with Replayer-side probing) and returns in how many of
+/// the replays the secret's line was observed hot.
+pub fn cache_leak_observations(invisible: bool, secret: u64, replays: u64) -> u64 {
+    let table_lines = 8u64;
+    assert!(secret < table_lines);
+    let mut b = SessionBuilder::new();
+    b.core_config(CoreConfig {
+        invisible_speculation: invisible,
+        ..CoreConfig::default()
+    });
+    let aspace = b.new_aspace(1);
+    let mut layout = DataLayout::new(b.phys(), aspace, VAddr(0x1000_0000));
+    let handle = layout.page(64);
+    let table = layout.page(table_lines * LINE_BYTES);
+    let (hp, hv, tp, tv) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut asm = Assembler::new();
+    asm.imm(hp, handle.0)
+        .imm(tp, table.0 + secret * LINE_BYTES)
+        .load(hv, hp, 0) // replay handle
+        .load(tv, tp, 0) // transmit
+        .halt();
+    b.victim(asm.finish(), aspace);
+    let id = b.module().provide_replay_handle(ContextId(0), handle);
+    {
+        let recipe = b.module().recipe_mut(id);
+        recipe.replays_per_step = replays;
+        recipe.prime_between_replays = true;
+        for l in 0..table_lines {
+            recipe.monitor_addrs.push(table.offset(l * LINE_BYTES));
+        }
+    }
+    let mut session = b.build();
+    let report = session.run(20_000_000);
+    let secret_line = table.offset(secret * LINE_BYTES);
+    report
+        .module
+        .observations
+        .iter()
+        .filter(|o| o.hits(100).contains(&secret_line))
+        .count() as u64
+}
+
+/// Cache channel: invisible speculation kills it.
+pub fn evaluate_cache_channel() -> DefenseOutcome {
+    let replays = 10;
+    DefenseOutcome {
+        name: "invisible speculation — vs cache channel",
+        leak_undefended: cache_leak_observations(false, 5, replays),
+        leak_defended: cache_leak_observations(true, 5, replays),
+        effective: true,
+        caveat: "covers only the cache; applies its cost to all loads",
+    }
+}
+
+/// Port-contention channel: invisible speculation does nothing.
+pub fn evaluate_port_channel() -> DefenseOutcome {
+    let over = |invisible: bool| -> u64 {
+        let cfg = PortContentionConfig {
+            samples: 300,
+            replays: 250,
+            handler_cycles: 500,
+            walk: WalkTuning::Long,
+            max_cycles: 30_000_000,
+            ambient_interrupt_retires: None,
+        };
+        // run_attack builds its own session; replicate with the config knob
+        // by running the mul/div pair and counting div-side exceedances.
+        let mul = run_with_invisible(false, invisible, &cfg);
+        let div = run_with_invisible(true, invisible, &cfg);
+        let threshold = denoise::calibrate_threshold(&mul[4..], 0.99, 2);
+        denoise::count_over(&div[4..], threshold) as u64
+    };
+    DefenseOutcome {
+        name: "invisible speculation — vs port contention",
+        leak_undefended: over(false),
+        leak_defended: over(true),
+        effective: false,
+        caveat: "execution-port occupancy is not cache state; the channel \
+                 survives unchanged",
+    }
+}
+
+fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig) -> Vec<u64> {
+    let mut b = SessionBuilder::new();
+    b.core_config(CoreConfig {
+        invisible_speculation: invisible,
+        ..CoreConfig::default()
+    });
+    let victim_asp = b.new_aspace(1);
+    let monitor_asp = b.new_aspace(2);
+    let (victim_prog, victim_layout) = microscope_victims::control_flow::build(
+        b.phys(),
+        victim_asp,
+        VAddr(0x1000_0000),
+        secret,
+    );
+    let (monitor_prog, buffer) =
+        port_contention::monitor_program(b.phys(), monitor_asp, VAddr(0x2000_0000), cfg.samples);
+    b.victim(victim_prog, victim_asp);
+    b.monitor(monitor_prog, monitor_asp, Some(buffer));
+    let id = b
+        .module()
+        .provide_replay_handle(ContextId(0), victim_layout.handle);
+    {
+        let recipe = b.module().recipe_mut(id);
+        recipe.replays_per_step = cfg.replays;
+        recipe.walk = cfg.walk;
+        recipe.handler_cycles = cfg.handler_cycles;
+    }
+    let mut session = b.build();
+    session.run_until_monitor_done(cfg.max_cycles).monitor_samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_channel_dies_under_invisible_speculation() {
+        let visible = cache_leak_observations(false, 3, 8);
+        let hidden = cache_leak_observations(true, 3, 8);
+        assert!(visible >= 7, "undefended leak on ~every replay: {visible}");
+        assert_eq!(hidden, 0, "invisible speculation must hide the fills");
+    }
+
+    #[test]
+    fn port_channel_survives_invisible_speculation() {
+        let o = evaluate_port_channel();
+        assert!(!o.effective);
+        assert!(
+            o.leak_defended * 2 >= o.leak_undefended.max(2),
+            "port leak must not collapse: {o:?}"
+        );
+    }
+}

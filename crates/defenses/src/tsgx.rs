@@ -1,0 +1,201 @@
+//! T-SGX (Shih et al., NDSS'17): execute the enclave inside TSX
+//! transactions so page faults abort to a user-level handler instead of
+//! reaching the OS; terminate after N failed transactions.
+//!
+//! The paper's analysis (§8): T-SGX hides the *fault sequence* from the OS,
+//! but every abort-and-retry is still a replay of the transaction's
+//! speculative window — "this design decision still provides N − 1 replays
+//! to MicroScope. Such number can be sufficient in many attacks."
+
+use crate::DefenseOutcome;
+use microscope_core::SessionBuilder;
+use microscope_cpu::{AluOp, Cond, ContextId, Inst, Program, Reg};
+use microscope_mem::VAddr;
+use microscope_victims::layout::DataLayout;
+
+/// The register T-SGX's springboard keeps its abort counter in. The
+/// protected body must not write it.
+pub const COUNTER_REG: Reg = Reg(30);
+/// Scratch register for the retry threshold.
+pub const THRESHOLD_REG: Reg = Reg(29);
+
+/// Wraps a program in a T-SGX-style transaction with an abort counter and
+/// retry threshold `n`: on the `n`-th abort the program terminates instead
+/// of retrying.
+///
+/// Layout: `[cnt=0] [L: xbegin] <body, Halt → Jmp epilogue> [xend, halt]
+/// [abort: cnt++, if cnt < n goto L, halt]`.
+pub fn protect(body: &Program, n: u64) -> Program {
+    let prologue = 1usize; // cnt = 0
+    let body_start = prologue + 1; // after xbegin
+    let body_len = body.len();
+    let epilogue = body_start + body_len; // xend; halt
+    let abort_handler = epilogue + 2;
+    let mut insts = Vec::with_capacity(abort_handler + 4);
+    insts.push(Inst::Imm {
+        dst: COUNTER_REG,
+        value: 0,
+    });
+    insts.push(Inst::XBegin {
+        abort_target: abort_handler,
+    });
+    for inst in body.iter() {
+        match inst {
+            Inst::Halt => insts.push(Inst::Jmp { target: epilogue }),
+            other => insts.push(other.shifted_targets(body_start)),
+        }
+    }
+    insts.push(Inst::XEnd);
+    insts.push(Inst::Halt);
+    // Abort handler (runs post-rollback; cnt survives because the snapshot
+    // taken at the *next* xbegin includes the increment).
+    insts.push(Inst::AluImm {
+        op: AluOp::Add,
+        dst: COUNTER_REG,
+        a: COUNTER_REG,
+        imm: 1,
+    });
+    insts.push(Inst::Imm {
+        dst: THRESHOLD_REG,
+        value: n,
+    });
+    insts.push(Inst::Branch {
+        cond: Cond::Lt,
+        a: COUNTER_REG,
+        b: THRESHOLD_REG,
+        target: prologue, // retry at xbegin
+    });
+    insts.push(Inst::Halt);
+    Program::new(insts)
+}
+
+/// Outcome of attacking a T-SGX-protected victim.
+#[derive(Clone, Copy, Debug)]
+pub struct TsgxAttackResult {
+    /// Transaction aborts the victim suffered.
+    pub aborts: u64,
+    /// Page faults the OS actually observed (should be zero: T-SGX's
+    /// defensive goal).
+    pub os_visible_faults: u64,
+    /// Speculative executions of the transmit load (the leak).
+    pub transmit_executions: u64,
+    /// Whether the victim completed (vs. terminated at the threshold).
+    pub completed: bool,
+}
+
+/// Runs the replay attack against a protected victim with threshold `n`.
+pub fn attack_protected_victim(n: u64) -> TsgxAttackResult {
+    let mut b = SessionBuilder::new();
+    let aspace = b.new_aspace(1);
+    let mut layout = DataLayout::new(b.phys(), aspace, VAddr(0x1000_0000));
+    let handle = layout.page(64);
+    let transmit = layout.page(64);
+    let (hp, hv, tp, tv) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut asm = microscope_cpu::Assembler::new();
+    asm.imm(hp, handle.0)
+        .imm(tp, transmit.0)
+        .load(hv, hp, 0) // replay handle
+        .load(tv, tp, 0) // transmit
+        .halt();
+    let body = asm.finish();
+    let protected = protect(&body, n);
+    b.victim(protected, aspace);
+    // The attacker arms the handle; it will never see the faults.
+    let id = b.module().provide_replay_handle(ContextId(0), handle);
+    b.module().recipe_mut(id).replays_per_step = u64::MAX;
+    let mut session = b.build();
+    let report = session.run(50_000_000);
+    let stats = report.stats.contexts[0];
+    TsgxAttackResult {
+        aborts: stats.txn_aborts,
+        os_visible_faults: stats.page_faults,
+        transmit_executions: stats.loads_executed.saturating_sub(stats.txn_aborts),
+        completed: stats.txn_commits > 0,
+    }
+}
+
+/// The §8 evaluation row.
+pub fn evaluate(n: u64) -> DefenseOutcome {
+    // Undefended: unbounded replays (here: 50 for the comparison).
+    let undefended = {
+        let mut b = SessionBuilder::new();
+        let aspace = b.new_aspace(1);
+        let mut layout = DataLayout::new(b.phys(), aspace, VAddr(0x1000_0000));
+        let handle = layout.page(64);
+        let transmit = layout.page(64);
+        let (hp, hv, tp, tv) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        let mut asm = microscope_cpu::Assembler::new();
+        asm.imm(hp, handle.0)
+            .imm(tp, transmit.0)
+            .load(hv, hp, 0)
+            .load(tv, tp, 0)
+            .halt();
+        b.victim(asm.finish(), aspace);
+        let id = b.module().provide_replay_handle(ContextId(0), handle);
+        b.module().recipe_mut(id).replays_per_step = 50;
+        let mut session = b.build();
+        let report = session.run(50_000_000);
+        let stats = report.stats.contexts[0];
+        stats.loads_executed - (stats.page_faults + 1)
+    };
+    let attacked = attack_protected_victim(n);
+    DefenseOutcome {
+        name: "T-SGX (N=10 transaction-abort threshold)",
+        leak_undefended: undefended,
+        leak_defended: attacked.transmit_executions,
+        effective: false,
+        caveat: "faults never reach the OS, but each abort replays the \
+                 window: N−1 usable replays remain; the victim is killed \
+                 rather than completed",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::MachineBuilder;
+
+    #[test]
+    fn protected_program_runs_normally_without_attack() {
+        let mut asm = microscope_cpu::Assembler::new();
+        asm.imm(Reg(1), 41)
+            .alu_imm(AluOp::Add, Reg(1), Reg(1), 1)
+            .halt();
+        let p = protect(&asm.finish(), 10);
+        let mut m = MachineBuilder::new().context(p).build();
+        m.run(100_000);
+        let ctx = m.context(ContextId(0));
+        assert!(ctx.halted());
+        assert_eq!(ctx.reg(Reg(1)), 42);
+        assert_eq!(ctx.stats().txn_commits, 1);
+        assert_eq!(ctx.stats().txn_aborts, 0);
+    }
+
+    #[test]
+    fn faults_abort_to_the_springboard_not_the_os() {
+        let r = attack_protected_victim(10);
+        assert_eq!(r.os_visible_faults, 0, "T-SGX hides faults from the OS");
+        assert_eq!(r.aborts, 10, "terminates at the threshold");
+        assert!(!r.completed, "victim never makes progress past the handle");
+    }
+
+    #[test]
+    fn attacker_still_gets_n_minus_1_replays() {
+        let n = 10;
+        let r = attack_protected_victim(n);
+        // Every abort cycle speculatively executed the transmit load once;
+        // the paper counts N−1 *re*-plays (plus the initial try).
+        assert!(
+            r.transmit_executions >= n - 1,
+            "leak must be ~N-1: {r:?}"
+        );
+        assert!(r.transmit_executions <= n + 1, "{r:?}");
+    }
+
+    #[test]
+    fn evaluation_reports_ineffectiveness() {
+        let o = evaluate(10);
+        assert!(!o.effective);
+        assert!(o.leak_defended >= 9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Page faults and successful translations.
+
+use crate::pte::{PtLevel, PteFlags};
+use crate::vaddr::VAddr;
+use microscope_cache::PAddr;
+use std::fmt;
+
+/// A successful virtual-to-physical translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// The translated physical address.
+    pub paddr: PAddr,
+    /// Flags of the leaf PTE used.
+    pub flags: PteFlags,
+}
+
+/// Why a translation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PageFaultKind {
+    /// An entry at `level` had the Present bit clear. When `level` is
+    /// [`PtLevel::Pte`] and a frame is mapped, this is the *minor* fault the
+    /// Replayer engineers.
+    NotPresent {
+        /// The level whose entry was not present.
+        level: PtLevel,
+    },
+    /// The leaf was present but disallowed the access (e.g. write to a
+    /// read-only page).
+    Protection,
+}
+
+/// A page fault, as delivered to the OS.
+///
+/// Note the information asymmetry the paper relies on: for enclave faults
+/// the OS only learns the faulting *virtual page number*, yet that is enough
+/// for MicroScope because the Replayer chose the replay handle's page itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting virtual address. (The enclave layer masks the page
+    /// offset before handing this to the OS.)
+    pub vaddr: VAddr,
+    /// What went wrong.
+    pub kind: PageFaultKind,
+    /// Whether the faulting access was a write.
+    pub is_write: bool,
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            PageFaultKind::NotPresent { level } => {
+                write!(
+                    f,
+                    "page fault at {} ({} not present, {})",
+                    self.vaddr,
+                    level,
+                    if self.is_write { "write" } else { "read" }
+                )
+            }
+            PageFaultKind::Protection => {
+                write!(f, "protection fault at {}", self.vaddr)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_level_and_kind() {
+        let pf = PageFault {
+            vaddr: VAddr(0x1000),
+            kind: PageFaultKind::NotPresent {
+                level: PtLevel::Pte,
+            },
+            is_write: false,
+        };
+        let s = pf.to_string();
+        assert!(s.contains("PTE"));
+        assert!(s.contains("read"));
+    }
+}

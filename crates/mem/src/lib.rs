@@ -1,0 +1,63 @@
+//! Virtual-memory substrate for the MicroScope reproduction.
+//!
+//! This crate models the pieces of the x86-64 virtual memory system that the
+//! paper's Section 2.1 describes and that the attack manipulates:
+//!
+//! * [`PhysMem`] — a byte-addressable sparse physical memory with a frame
+//!   allocator. **Page tables live inside it**, so the hardware walker's
+//!   accesses to PGD/PUD/PMD/PTE entries go through the simulated cache
+//!   hierarchy. Walk latency is therefore tunable by the OS exactly as in
+//!   the paper: flush all four entry lines (and the PWC) for a >1000-cycle
+//!   walk, or leave upper levels warm for a short one.
+//! * [`AddressSpace`] — a CR3-rooted 4-level page table with the x86 entry
+//!   layout (Present/Writable/User/Accessed/Dirty bits, PPN in bits 12–51)
+//!   plus the software-walk operations the MicroScope kernel module needs:
+//!   locating the physical addresses of the four entries that translate a
+//!   virtual address, and toggling the Present bit of the leaf PTE.
+//! * [`TlbHierarchy`] — split L1 / unified L2 TLBs tagged with a PCID, with
+//!   `invlpg`-style selective invalidation.
+//! * [`PageWalker`] — the hardware walker with its page-walk cache; walking
+//!   sets Accessed/Dirty bits (which the Sneaky-Page-Monitoring channel in
+//!   the paper's Table 1 observes) and reports [`PageFault`]s with precise
+//!   level information.
+//!
+//! # Example: a replay handle's long walk
+//!
+//! ```
+//! use microscope_cache::{HierarchyConfig, MemoryHierarchy};
+//! use microscope_mem::{AddressSpace, PageWalker, PhysMem, PteFlags, VAddr};
+//!
+//! let mut phys = PhysMem::new();
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+//! let mut walker = PageWalker::new(Default::default());
+//! let aspace = AddressSpace::new(&mut phys, 1);
+//! let va = VAddr(0x7000_0000_0000);
+//! let frame = phys.alloc_frame();
+//! aspace.map(&mut phys, va, frame, PteFlags::user_data());
+//!
+//! // Cold walk: four memory accesses.
+//! let cold = walker.walk(&mut phys, &mut hier, &aspace, va, false);
+//! // Warm walk: PWC + cached PTE line.
+//! let warm = walker.walk(&mut phys, &mut hier, &aspace, va, false);
+//! assert!(warm.latency < cold.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aspace;
+mod fault;
+mod phys;
+mod pte;
+mod tlb;
+mod vaddr;
+mod walker;
+
+pub use aspace::AddressSpace;
+pub use fault::{PageFault, PageFaultKind, Translation};
+pub use microscope_cache::{PAddr, LINE_BYTES, PAGE_BYTES};
+pub use phys::PhysMem;
+pub use pte::{PtLevel, Pte, PteFlags};
+pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbHierarchy, TlbHierarchyConfig};
+pub use vaddr::VAddr;
+pub use walker::{PageWalker, WalkOutcome, WalkerConfig};

@@ -1,0 +1,216 @@
+//! Sparse, byte-addressable physical memory with a frame allocator.
+
+use microscope_cache::{PAddr, PAGE_BYTES};
+use std::collections::HashMap;
+
+const PAGE: usize = PAGE_BYTES as usize;
+
+/// Simulated physical memory.
+///
+/// Pages are allocated lazily; reads of never-written memory return zeros
+/// (as if backed by the zero page). Page tables, victim data, monitor
+/// buffers and AES tables all live here, which is what lets the cache
+/// hierarchy treat them uniformly.
+///
+/// ```
+/// use microscope_mem::{PhysMem, PAddr};
+/// let mut m = PhysMem::new();
+/// let frame = m.alloc_frame();
+/// let addr = PAddr(frame * 4096 + 8);
+/// m.write_u64(addr, 0xdead_beef);
+/// assert_eq!(m.read_u64(addr), 0xdead_beef);
+/// assert_eq!(m.read_u32(addr), 0xdead_beef);
+/// assert_eq!(m.read_u8(addr.offset(3)), 0xde);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    next_frame: u64,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory. Frame 0 is reserved (never handed
+    /// out) so a zero PPN can act as a null sentinel in page tables.
+    pub fn new() -> Self {
+        PhysMem {
+            pages: HashMap::new(),
+            next_frame: 1,
+        }
+    }
+
+    /// Allocates a fresh, zeroed physical frame and returns its PPN.
+    pub fn alloc_frame(&mut self) -> u64 {
+        let ppn = self.next_frame;
+        self.next_frame += 1;
+        ppn
+    }
+
+    /// Allocates `n` consecutive frames, returning the first PPN.
+    pub fn alloc_frames(&mut self, n: u64) -> u64 {
+        let first = self.next_frame;
+        self.next_frame += n;
+        first
+    }
+
+    /// Number of frames handed out so far.
+    pub fn frames_allocated(&self) -> u64 {
+        self.next_frame - 1
+    }
+
+    /// Number of pages that have actually been materialized by writes.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, ppn: u64) -> Option<&[u8; PAGE]> {
+        self.pages.get(&ppn).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, ppn: u64) -> &mut [u8; PAGE] {
+        self.pages.entry(ppn).or_insert_with(|| Box::new([0; PAGE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: PAddr) -> u8 {
+        match self.page(addr.ppn()) {
+            Some(p) => p[addr.page_offset() as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: PAddr, value: u8) {
+        let off = addr.page_offset() as usize;
+        self.page_mut(addr.ppn())[off] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`. Reads may cross
+    /// page boundaries.
+    pub fn read_bytes(&self, addr: PAddr, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset(i as u64));
+        }
+    }
+
+    /// Writes bytes starting at `addr`. Writes may cross page boundaries.
+    pub fn write_bytes(&mut self, addr: PAddr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.offset(i as u64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: PAddr) -> u16 {
+        let mut b = [0; 2];
+        self.read_bytes(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: PAddr) -> u32 {
+        let mut b = [0; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let mut b = [0; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: PAddr, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: PAddr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: PAddr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a sized little-endian value (1, 2, 4 or 8 bytes), zero-extended
+    /// to `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read_sized(&self, addr: PAddr, size: u8) -> u64 {
+        match size {
+            1 => self.read_u8(addr) as u64,
+            2 => self.read_u16(addr) as u64,
+            4 => self.read_u32(addr) as u64,
+            8 => self.read_u64(addr),
+            other => panic!("unsupported access size {other}"),
+        }
+    }
+
+    /// Writes the low `size` bytes of `value` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write_sized(&mut self, addr: PAddr, value: u64, size: u8) {
+        match size {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            other => panic!("unsupported access size {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = PhysMem::new();
+        assert_eq!(m.read_u64(PAddr(0x12_3456)), 0);
+    }
+
+    #[test]
+    fn frames_are_distinct_and_nonzero() {
+        let mut m = PhysMem::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(m.frames_allocated(), 2);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut m = PhysMem::new();
+        let addr = PAddr(PAGE_BYTES - 4);
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u32(PAddr(PAGE_BYTES)), 0x1122_3344);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sized_accesses_truncate_and_extend() {
+        let mut m = PhysMem::new();
+        let a = PAddr(0x2000);
+        m.write_sized(a, 0xffff_ffff_ffff_ffff, 2);
+        assert_eq!(m.read_sized(a, 2), 0xffff);
+        assert_eq!(m.read_sized(a, 4), 0x0000_ffff);
+        assert_eq!(m.read_sized(a, 1), 0xff);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn bad_size_panics() {
+        let m = PhysMem::new();
+        let _ = m.read_sized(PAddr(0), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Page-table entry encoding (x86-64 layout).
+
+use std::fmt;
+
+/// The four levels of the page-table radix tree, top down.
+///
+/// The names follow the Linux kernel / paper terminology (Figure 2): Page
+/// Global Directory, Page Upper Directory, Page Middle Directory, and the
+/// leaf Page Table Entry level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PtLevel {
+    /// Level 4 table, rooted at CR3 (`pgd_t`).
+    Pgd,
+    /// Level 3 table (`pud_t`).
+    Pud,
+    /// Level 2 table (`pmd_t`).
+    Pmd,
+    /// Leaf level (`pte_t`) — holds the PPN, Present/Accessed/Dirty bits.
+    Pte,
+}
+
+impl PtLevel {
+    /// All levels in walk order (PGD first).
+    pub const ALL: [PtLevel; 4] = [PtLevel::Pgd, PtLevel::Pud, PtLevel::Pmd, PtLevel::Pte];
+
+    /// Depth of this level: PGD = 0 … PTE = 3.
+    pub fn depth(self) -> usize {
+        match self {
+            PtLevel::Pgd => 0,
+            PtLevel::Pud => 1,
+            PtLevel::Pmd => 2,
+            PtLevel::Pte => 3,
+        }
+    }
+
+    /// The level below this one, or `None` for the leaf.
+    pub fn next(self) -> Option<PtLevel> {
+        match self {
+            PtLevel::Pgd => Some(PtLevel::Pud),
+            PtLevel::Pud => Some(PtLevel::Pmd),
+            PtLevel::Pmd => Some(PtLevel::Pte),
+            PtLevel::Pte => None,
+        }
+    }
+}
+
+impl fmt::Display for PtLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PtLevel::Pgd => "PGD",
+            PtLevel::Pud => "PUD",
+            PtLevel::Pmd => "PMD",
+            PtLevel::Pte => "PTE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Decoded page-table entry flags.
+///
+/// Field layout in the raw entry matches x86-64: bit 0 Present, bit 1
+/// Read/Write, bit 2 User/Supervisor, bit 5 Accessed, bit 6 Dirty, bit 63 NX.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PteFlags {
+    /// Present bit — the bit the whole attack revolves around. A hardware
+    /// walk that finds it clear raises a (minor) page fault.
+    pub present: bool,
+    /// Writable.
+    pub writable: bool,
+    /// User-accessible.
+    pub user: bool,
+    /// Set by the hardware walker on any translation through the entry;
+    /// observed by the Sneaky Page Monitoring attack.
+    pub accessed: bool,
+    /// Set by the hardware walker when a write translates through the leaf.
+    pub dirty: bool,
+    /// No-execute.
+    pub nx: bool,
+}
+
+impl PteFlags {
+    const P: u64 = 1 << 0;
+    const RW: u64 = 1 << 1;
+    const US: u64 = 1 << 2;
+    const A: u64 = 1 << 5;
+    const D: u64 = 1 << 6;
+    const NX: u64 = 1 << 63;
+
+    /// Flags for an ordinary present, writable, user data page.
+    pub fn user_data() -> PteFlags {
+        PteFlags {
+            present: true,
+            writable: true,
+            user: true,
+            accessed: false,
+            dirty: false,
+            nx: true,
+        }
+    }
+
+    /// Flags for a read-only user page (e.g. lookup tables).
+    pub fn user_readonly() -> PteFlags {
+        PteFlags {
+            writable: false,
+            ..PteFlags::user_data()
+        }
+    }
+
+    /// Flags used for intermediate (non-leaf) table entries.
+    pub fn table() -> PteFlags {
+        PteFlags {
+            present: true,
+            writable: true,
+            user: true,
+            accessed: false,
+            dirty: false,
+            nx: false,
+        }
+    }
+
+    /// Encodes into the flag bits of a raw entry.
+    pub fn to_bits(self) -> u64 {
+        let mut bits = 0;
+        if self.present {
+            bits |= Self::P;
+        }
+        if self.writable {
+            bits |= Self::RW;
+        }
+        if self.user {
+            bits |= Self::US;
+        }
+        if self.accessed {
+            bits |= Self::A;
+        }
+        if self.dirty {
+            bits |= Self::D;
+        }
+        if self.nx {
+            bits |= Self::NX;
+        }
+        bits
+    }
+
+    /// Decodes from raw entry bits.
+    pub fn from_bits(bits: u64) -> PteFlags {
+        PteFlags {
+            present: bits & Self::P != 0,
+            writable: bits & Self::RW != 0,
+            user: bits & Self::US != 0,
+            accessed: bits & Self::A != 0,
+            dirty: bits & Self::D != 0,
+            nx: bits & Self::NX != 0,
+        }
+    }
+}
+
+/// A raw 64-bit page-table entry.
+///
+/// ```
+/// use microscope_mem::{Pte, PteFlags};
+/// let pte = Pte::new(0x42, PteFlags::user_data());
+/// assert_eq!(pte.ppn(), 0x42);
+/// assert!(pte.flags().present);
+/// let cleared = pte.with_present(false);
+/// assert!(!cleared.flags().present);
+/// assert_eq!(cleared.ppn(), 0x42);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    const PPN_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+    /// Builds an entry pointing at physical frame `ppn` with `flags`.
+    pub fn new(ppn: u64, flags: PteFlags) -> Pte {
+        Pte(((ppn << 12) & Self::PPN_MASK) | flags.to_bits())
+    }
+
+    /// The physical page number this entry points at.
+    pub fn ppn(self) -> u64 {
+        (self.0 & Self::PPN_MASK) >> 12
+    }
+
+    /// The decoded flags.
+    pub fn flags(self) -> PteFlags {
+        PteFlags::from_bits(self.0)
+    }
+
+    /// Shorthand for `flags().present`.
+    pub fn present(self) -> bool {
+        self.flags().present
+    }
+
+    /// A copy with the Present bit set or cleared — the Replayer's primary
+    /// lever (paper §4.1.1 step 2 and §4.1.4 step 5).
+    pub fn with_present(self, present: bool) -> Pte {
+        if present {
+            Pte(self.0 | PteFlags::P)
+        } else {
+            Pte(self.0 & !PteFlags::P)
+        }
+    }
+
+    /// A copy with the Accessed bit set or cleared.
+    pub fn with_accessed(self, accessed: bool) -> Pte {
+        if accessed {
+            Pte(self.0 | PteFlags::A)
+        } else {
+            Pte(self.0 & !PteFlags::A)
+        }
+    }
+
+    /// A copy with the Dirty bit set or cleared.
+    pub fn with_dirty(self, dirty: bool) -> Pte {
+        if dirty {
+            Pte(self.0 | PteFlags::D)
+        } else {
+            Pte(self.0 & !PteFlags::D)
+        }
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pte[ppn={:#x} {:?}]", self.ppn(), self.flags())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_round_trip() {
+        let all = PteFlags {
+            present: true,
+            writable: true,
+            user: true,
+            accessed: true,
+            dirty: true,
+            nx: true,
+        };
+        assert_eq!(PteFlags::from_bits(all.to_bits()), all);
+        let none = PteFlags::default();
+        assert_eq!(PteFlags::from_bits(none.to_bits()), none);
+    }
+
+    #[test]
+    fn ppn_and_flags_do_not_interfere() {
+        let pte = Pte::new(0xf_ffff_ffff, PteFlags::user_data());
+        assert_eq!(pte.ppn(), 0xf_ffff_ffff);
+        assert!(pte.flags().present && pte.flags().nx);
+    }
+
+    #[test]
+    fn present_toggle_preserves_everything_else() {
+        let pte = Pte::new(7, PteFlags::user_readonly()).with_accessed(true);
+        let off = pte.with_present(false);
+        assert!(!off.present());
+        assert_eq!(off.ppn(), 7);
+        assert!(off.flags().accessed);
+        assert_eq!(off.with_present(true), pte);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert_eq!(PtLevel::Pgd.next(), Some(PtLevel::Pud));
+        assert_eq!(PtLevel::Pte.next(), None);
+        let depths: Vec<_> = PtLevel::ALL.iter().map(|l| l.depth()).collect();
+        assert_eq!(depths, vec![0, 1, 2, 3]);
+    }
+}

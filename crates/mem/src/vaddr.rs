@@ -1,0 +1,118 @@
+//! Virtual addresses and their page-table index decomposition.
+
+use crate::pte::PtLevel;
+use microscope_cache::PAGE_BYTES;
+use std::fmt;
+
+/// A virtual byte address (48-bit, like x86-64 with 4-level paging).
+///
+/// ```
+/// use microscope_mem::{VAddr, PtLevel};
+/// let va = VAddr::from_indices(3, 5, 7, 9, 0x123);
+/// assert_eq!(va.table_index(PtLevel::Pgd), 3);
+/// assert_eq!(va.table_index(PtLevel::Pud), 5);
+/// assert_eq!(va.table_index(PtLevel::Pmd), 7);
+/// assert_eq!(va.table_index(PtLevel::Pte), 9);
+/// assert_eq!(va.page_offset(), 0x123);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// Builds an address from the four 9-bit table indices and a 12-bit page
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds 511 or the offset exceeds 4095.
+    pub fn from_indices(pgd: u64, pud: u64, pmd: u64, pte: u64, offset: u64) -> VAddr {
+        assert!(pgd < 512 && pud < 512 && pmd < 512 && pte < 512);
+        assert!(offset < PAGE_BYTES);
+        VAddr((pgd << 39) | (pud << 30) | (pmd << 21) | (pte << 12) | offset)
+    }
+
+    /// The 9-bit index into the page table at `level`.
+    pub fn table_index(self, level: PtLevel) -> u64 {
+        let shift = match level {
+            PtLevel::Pgd => 39,
+            PtLevel::Pud => 30,
+            PtLevel::Pmd => 21,
+            PtLevel::Pte => 12,
+        };
+        (self.0 >> shift) & 0x1ff
+    }
+
+    /// Virtual page number (address / 4 KiB).
+    pub fn vpn(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Offset within the 4 KiB page.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// The base address of the page containing this address.
+    pub fn page_base(self) -> VAddr {
+        VAddr(self.0 & !(PAGE_BYTES - 1))
+    }
+
+    /// Address obtained by adding `delta` bytes.
+    pub fn offset(self, delta: u64) -> VAddr {
+        VAddr(self.0 + delta)
+    }
+
+    /// Whether two addresses are on the same 4 KiB page. Replay handles must
+    /// be on a *different* page than the sensitive instruction's data, and
+    /// pivots on a different page than the handle (paper §4.1.1, §4.2.2).
+    pub fn same_page(self, other: VAddr) -> bool {
+        self.vpn() == other.vpn()
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VAddr {
+    fn from(v: u64) -> Self {
+        VAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let va = VAddr::from_indices(511, 0, 255, 1, 4095);
+        assert_eq!(va.table_index(PtLevel::Pgd), 511);
+        assert_eq!(va.table_index(PtLevel::Pud), 0);
+        assert_eq!(va.table_index(PtLevel::Pmd), 255);
+        assert_eq!(va.table_index(PtLevel::Pte), 1);
+        assert_eq!(va.page_offset(), 4095);
+    }
+
+    #[test]
+    fn page_helpers() {
+        let va = VAddr(0x1234_5678);
+        assert_eq!(va.page_base().page_offset(), 0);
+        assert!(va.same_page(va.page_base()));
+        assert!(!va.same_page(va.offset(PAGE_BYTES)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_index_rejected() {
+        let _ = VAddr::from_indices(512, 0, 0, 0, 0);
+    }
+}

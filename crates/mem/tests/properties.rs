@@ -1,0 +1,79 @@
+//! Property tests: the hardware walker against the software walk oracle.
+
+use microscope_cache::{HierarchyConfig, MemoryHierarchy};
+use microscope_mem::{AddressSpace, PageWalker, PhysMem, PteFlags, VAddr, PAGE_BYTES};
+use proptest::prelude::*;
+
+fn arb_vaddr() -> impl Strategy<Value = VAddr> {
+    // 48-bit canonical user addresses, page-aligned plus an offset.
+    (0u64..(1 << 36), 0u64..PAGE_BYTES).prop_map(|(vpn, off)| VAddr(vpn * PAGE_BYTES + off))
+}
+
+proptest! {
+    /// For any set of mapped pages, hardware and software walks agree on
+    /// both successful translations and fault kinds.
+    #[test]
+    fn hardware_walk_matches_software_oracle(
+        mapped in prop::collection::vec(arb_vaddr(), 1..20),
+        probes in prop::collection::vec(arb_vaddr(), 1..20),
+    ) {
+        let mut phys = PhysMem::new();
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let mut walker = PageWalker::new(Default::default());
+        let asp = AddressSpace::new(&mut phys, 3);
+        for va in &mapped {
+            let frame = phys.alloc_frame();
+            asp.map(&mut phys, *va, frame, PteFlags::user_data());
+        }
+        for probe in mapped.iter().chain(probes.iter()) {
+            let hw = walker.walk(&mut phys, &mut hier, &asp, *probe, false);
+            let sw = asp.translate(&phys, *probe, false);
+            match (hw.result, sw) {
+                (Ok(h), Ok(s)) => prop_assert_eq!(h.paddr, s.paddr),
+                (Err(h), Err(s)) => prop_assert_eq!(h.kind, s.kind),
+                (h, s) => prop_assert!(false, "disagreement: hw={h:?} sw={s:?}"),
+            }
+        }
+    }
+
+    /// Toggling the Present bit off always turns a translating address into
+    /// a leaf fault, and restoring it restores the identical translation.
+    #[test]
+    fn present_bit_round_trip(va in arb_vaddr()) {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        let frame = phys.alloc_frame();
+        asp.map(&mut phys, va, frame, PteFlags::user_data());
+        let before = asp.translate(&phys, va, false).unwrap();
+        asp.set_present(&mut phys, va, false).unwrap();
+        prop_assert!(asp.translate(&phys, va, false).is_err());
+        asp.set_present(&mut phys, va, true).unwrap();
+        let after = asp.translate(&phys, va, false).unwrap();
+        prop_assert_eq!(before.paddr, after.paddr);
+    }
+
+    /// Distinct virtual pages map to distinct physical frames under
+    /// alloc_map, and translations never alias.
+    #[test]
+    fn alloc_map_never_aliases(base in 0u64..(1 << 30), pages in 1u64..8) {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        let va = VAddr(base * PAGE_BYTES);
+        asp.alloc_map(&mut phys, va, pages * PAGE_BYTES, PteFlags::user_data());
+        let mut frames = std::collections::HashSet::new();
+        for i in 0..pages {
+            let t = asp.translate(&phys, va.offset(i * PAGE_BYTES), false).unwrap();
+            prop_assert!(frames.insert(t.paddr.ppn()));
+        }
+    }
+
+    /// Physical memory read/write round trip at arbitrary sizes.
+    #[test]
+    fn phys_mem_round_trip(addr in 0u64..(1 << 30), value: u64, size_pow in 0u32..4) {
+        let size = 1u8 << size_pow;
+        let mut m = PhysMem::new();
+        m.write_sized(microscope_cache::PAddr(addr), value, size);
+        let mask = if size == 8 { u64::MAX } else { (1u64 << (size as u32 * 8)) - 1 };
+        prop_assert_eq!(m.read_sized(microscope_cache::PAddr(addr), size), value & mask);
+    }
+}

@@ -1,0 +1,136 @@
+//! Attack recipes (paper §5.2.1).
+
+use microscope_cpu::ContextId;
+use microscope_mem::VAddr;
+
+/// Identifies a recipe registered with the module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecipeId(pub usize);
+
+/// How the module re-arms the page walk between replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkTuning {
+    /// Flush all four entry lines and the PWC: a maximal (>1000-cycle)
+    /// speculation window. Used by the port-contention attack.
+    Long,
+    /// Leave the upper levels warm so exactly `levels` page-table levels
+    /// are fetched from memory (1..=4): a tunable, shorter window. The AES
+    /// single-stepping attack uses small values so a replay covers "only a
+    /// small number of instructions" (§4.4).
+    Length {
+        /// Levels served from DRAM (1..=4).
+        levels: u8,
+    },
+    /// Leave cache state as the fault left it (shortest window: everything
+    /// the walker just touched is still in L1).
+    Natural,
+}
+
+/// Everything the module needs for one microarchitectural replay attack —
+/// "the replay handle, the pivot, and addresses to monitor … a confidence
+/// threshold … a set of attack functions" (§5.2.1).
+#[derive(Clone, Debug)]
+pub struct AttackRecipe {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// The victim context this recipe targets.
+    pub victim: ContextId,
+    /// The replay handle: any address on the page whose accesses will fault.
+    pub replay_handle: VAddr,
+    /// Optional pivot on a *different* page, used to step through loops
+    /// (§4.2.2). When the handle is released, the pivot is armed; when the
+    /// pivot faults, it is released and the handle re-armed.
+    pub pivot: Option<VAddr>,
+    /// Victim-virtual addresses whose cache lines the replayer probes after
+    /// every replay (cache-attack configuration). Empty for contention
+    /// attacks where a separate Monitor context measures.
+    pub monitor_addrs: Vec<VAddr>,
+    /// Replays of the handle per step before releasing it.
+    pub replays_per_step: u64,
+    /// Number of handle→pivot steps before the attack disarms itself.
+    /// 1 for single-secret attacks (no pivot transitions needed).
+    pub max_steps: u64,
+    /// Walk-duration tuning applied before every replay.
+    pub walk: WalkTuning,
+    /// Whether to evict the monitored lines before resuming the victim
+    /// (Prime+Probe priming; Figure 11's "Replay 1/2" behaviour).
+    pub prime_between_replays: bool,
+    /// Confidence threshold: stop replaying a step early once the
+    /// hit/miss classification of the monitored lines has been identical
+    /// for this many consecutive replays. `None` always runs
+    /// `replays_per_step` replays.
+    pub stop_when_stable: Option<u64>,
+    /// Probe latency below which a line is classified as a cache hit.
+    pub hit_threshold: u64,
+    /// Simulated cycles the fault handler occupies the victim context.
+    pub handler_cycles: u64,
+}
+
+impl AttackRecipe {
+    /// A recipe with the paper's defaults: long walks, no pivot, no probes,
+    /// effectively-unbounded replays. Callers customize from here.
+    pub fn new(victim: ContextId, replay_handle: VAddr) -> Self {
+        AttackRecipe {
+            name: "recipe".to_owned(),
+            victim,
+            replay_handle,
+            pivot: None,
+            monitor_addrs: Vec::new(),
+            replays_per_step: u64::MAX,
+            max_steps: 1,
+            walk: WalkTuning::Long,
+            prime_between_replays: false,
+            stop_when_stable: None,
+            hit_threshold: 100,
+            handler_cycles: 800,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pivot shares a page with the replay handle — the
+    /// paper's §4.2.2 correctness condition ("we choose the pivot from a
+    /// different page than the replay handle").
+    pub fn validate(&self) {
+        if let Some(p) = self.pivot {
+            assert!(
+                !p.same_page(self.replay_handle),
+                "pivot must live on a different page than the replay handle"
+            );
+        }
+        if let WalkTuning::Length { levels } = self.walk {
+            assert!((1..=4).contains(&levels), "walk length must be 1..=4");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_long_unbounded_single_step() {
+        let r = AttackRecipe::new(ContextId(0), VAddr(0x1000));
+        assert_eq!(r.walk, WalkTuning::Long);
+        assert_eq!(r.max_steps, 1);
+        assert!(r.pivot.is_none());
+        r.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "different page")]
+    fn same_page_pivot_rejected() {
+        let mut r = AttackRecipe::new(ContextId(0), VAddr(0x1000));
+        r.pivot = Some(VAddr(0x1008));
+        r.validate();
+    }
+
+    #[test]
+    fn cross_page_pivot_accepted() {
+        let mut r = AttackRecipe::new(ContextId(0), VAddr(0x1000));
+        r.pivot = Some(VAddr(0x2000));
+        r.validate();
+    }
+}

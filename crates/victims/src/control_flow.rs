@@ -1,0 +1,165 @@
+//! The control-flow-secret victim (paper Figure 4c / Figure 6).
+//!
+//! ```text
+//! handle(pub_addrA);          // addq $0x1, 0x20(%rbp) — the replay handle
+//! if (secret)
+//!     two floating-point divisions     (Figure 6b)
+//! else
+//!     two integer multiplications      (Figure 6a)
+//! ```
+//!
+//! There is **no loop**: each side executes its two operations exactly once
+//! per (speculative) execution. MicroScope replays the handle so the SMT
+//! monitor can sample the divider port enough times to tell the sides
+//! apart — the paper's headline §6.1 result.
+
+use crate::layout::DataLayout;
+use microscope_cpu::{Assembler, Cond, Program};
+use microscope_mem::{AddressSpace, PhysMem, VAddr};
+
+/// Layout of the control-flow victim.
+#[derive(Clone, Copy, Debug)]
+pub struct ControlFlowLayout {
+    /// The public counter the handle increments (page A).
+    pub handle: VAddr,
+    /// The page holding the secret branch condition.
+    pub secret: VAddr,
+}
+
+/// Registers used by the generated program.
+pub mod regs {
+    use microscope_cpu::Reg;
+    /// Pointer to the handle counter.
+    pub const HANDLE_PTR: Reg = Reg(1);
+    /// Scratch for the counter value.
+    pub const HANDLE_VAL: Reg = Reg(2);
+    /// The secret (loaded before the handle, so the branch is *not* data
+    /// dependent on the faulting load).
+    pub const SECRET: Reg = Reg(3);
+    /// Zero, for the comparison.
+    pub const ZERO: Reg = Reg(4);
+    /// Multiplication operands / results.
+    pub const MUL_A: Reg = Reg(5);
+    /// Second multiplication operand.
+    pub const MUL_B: Reg = Reg(6);
+    /// Multiplication result.
+    pub const MUL_R: Reg = Reg(7);
+    /// Division operands (f64 bits).
+    pub const DIV_A: Reg = Reg(8);
+    /// Divisor.
+    pub const DIV_B: Reg = Reg(9);
+    /// First quotient.
+    pub const DIV_R1: Reg = Reg(10);
+    /// Second quotient.
+    pub const DIV_R2: Reg = Reg(11);
+}
+
+/// Builds the victim with the given secret (branch direction). The secret
+/// is installed in memory and loaded *before* the replay handle executes,
+/// so during every replay the branch condition is already available in a
+/// register — only the handle faults.
+pub fn build(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    base: VAddr,
+    secret: bool,
+) -> (Program, ControlFlowLayout) {
+    let mut layout = DataLayout::new(phys, aspace, base);
+    let handle = layout.page(64);
+    let secret_page = layout.page(8);
+    layout.write_u64(secret_page, u64::from(secret));
+
+    let mut asm = Assembler::new();
+    let div_side = asm.label();
+    let out = asm.label();
+
+    // Load the secret (its page stays present; this is not the handle).
+    asm.imm(regs::SECRET, secret_page.0)
+        .load(regs::SECRET, regs::SECRET, 0)
+        .imm(regs::ZERO, 0);
+    // Operand setup for both sides.
+    asm.imm(regs::MUL_A, 7)
+        .imm(regs::MUL_B, 9)
+        .imm_f64(regs::DIV_A, 21.0)
+        .imm_f64(regs::DIV_B, 1.5);
+    // The replay handle: addq $0x1, (handle)  (Figure 6, line 1).
+    asm.imm(regs::HANDLE_PTR, handle.0)
+        .load(regs::HANDLE_VAL, regs::HANDLE_PTR, 0)
+        .alu_imm(
+            microscope_cpu::AluOp::Add,
+            regs::HANDLE_VAL,
+            regs::HANDLE_VAL,
+            1,
+        )
+        .store(regs::HANDLE_VAL, regs::HANDLE_PTR, 0);
+    // if (secret) goto div_side;
+    asm.branch(Cond::Ne, regs::SECRET, regs::ZERO, div_side);
+    // __victim_mul: two integer multiplications (Figure 6a).
+    asm.mul(regs::MUL_R, regs::MUL_A, regs::MUL_B)
+        .mul(regs::MUL_R, regs::MUL_R, regs::MUL_B)
+        .jmp(out);
+    // __victim_div: two floating-point divisions (Figure 6b).
+    asm.bind(div_side);
+    asm.fdiv(regs::DIV_R1, regs::DIV_A, regs::DIV_B)
+        .fdiv(regs::DIV_R2, regs::DIV_A, regs::DIV_B);
+    asm.bind(out);
+    asm.halt();
+
+    (
+        asm.finish(),
+        ControlFlowLayout {
+            handle,
+            secret: secret_page,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{ContextId, MachineBuilder};
+
+    fn run(secret: bool) -> microscope_cpu::Machine {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (prog, _) = build(&mut phys, aspace, VAddr(0x50_0000), secret);
+        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        m.run(1_000_000);
+        m
+    }
+
+    #[test]
+    fn secret_true_takes_the_division_side() {
+        let m = run(true);
+        let ctx = m.context(ContextId(0));
+        assert_eq!(ctx.reg_f64(regs::DIV_R1), 14.0);
+        assert_eq!(ctx.reg_f64(regs::DIV_R2), 14.0);
+        assert_eq!(ctx.reg(regs::MUL_R), 0, "mul side not taken");
+    }
+
+    #[test]
+    fn secret_false_takes_the_multiplication_side() {
+        let m = run(false);
+        let ctx = m.context(ContextId(0));
+        assert_eq!(ctx.reg(regs::MUL_R), 7 * 9 * 9);
+        assert_eq!(ctx.reg(regs::DIV_R1), 0, "div side not taken");
+    }
+
+    #[test]
+    fn divider_used_only_on_the_secret_side() {
+        let with_divs = run(true).ports().div_stats().0;
+        let without = run(false).ports().div_stats().0;
+        assert!(with_divs >= 2);
+        // The mul side may still speculatively touch the div side before
+        // the branch resolves on a cold predictor; it must do *fewer* divs.
+        assert!(without < with_divs);
+    }
+
+    #[test]
+    fn handle_and_secret_pages_are_distinct() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (_, l) = build(&mut phys, aspace, VAddr(0x50_0000), true);
+        assert!(!l.handle.same_page(l.secret));
+    }
+}

@@ -1,0 +1,142 @@
+//! Data-layout helper: a bump allocator of victim-virtual pages.
+
+use microscope_mem::{AddressSpace, PhysMem, PteFlags, VAddr, PAGE_BYTES};
+
+/// Allocates page-aligned victim data regions and installs their contents,
+/// guaranteeing each [`DataLayout::page`] call lands on a distinct page —
+/// the separation property replay handles and pivots require.
+#[derive(Debug)]
+pub struct DataLayout<'a> {
+    phys: &'a mut PhysMem,
+    aspace: AddressSpace,
+    next: VAddr,
+}
+
+impl<'a> DataLayout<'a> {
+    /// Starts allocating at `base` (page-aligned upward).
+    pub fn new(phys: &'a mut PhysMem, aspace: AddressSpace, base: VAddr) -> Self {
+        let aligned = VAddr((base.0 + PAGE_BYTES - 1) & !(PAGE_BYTES - 1));
+        DataLayout {
+            phys,
+            aspace,
+            next: aligned,
+        }
+    }
+
+    /// The address space regions are mapped into.
+    pub fn aspace(&self) -> AddressSpace {
+        self.aspace
+    }
+
+    /// Maps `bytes` (rounded up to whole pages) at the next free page and
+    /// returns the base address. The region starts zeroed.
+    pub fn page(&mut self, bytes: u64) -> VAddr {
+        let base = self.next;
+        let pages = bytes.max(1).div_ceil(PAGE_BYTES);
+        self.aspace.alloc_map(
+            self.phys,
+            base,
+            pages * PAGE_BYTES,
+            PteFlags::user_data(),
+        );
+        self.next = VAddr(base.0 + pages * PAGE_BYTES);
+        base
+    }
+
+    /// Writes a `u64` at a victim-virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not mapped writable.
+    pub fn write_u64(&mut self, va: VAddr, value: u64) {
+        let t = self
+            .aspace
+            .translate(self.phys, va, true)
+            .expect("layout write to mapped page");
+        self.phys.write_u64(t.paddr, value);
+    }
+
+    /// Writes a `u32` at a victim-virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not mapped writable.
+    pub fn write_u32(&mut self, va: VAddr, value: u32) {
+        let t = self
+            .aspace
+            .translate(self.phys, va, true)
+            .expect("layout write to mapped page");
+        self.phys.write_u32(t.paddr, value);
+    }
+
+    /// Maps a fresh region and fills it with `u64` values (8-byte stride).
+    pub fn array_u64(&mut self, values: &[u64]) -> VAddr {
+        let base = self.page(values.len() as u64 * 8);
+        for (i, v) in values.iter().enumerate() {
+            self.write_u64(base.offset(i as u64 * 8), *v);
+        }
+        base
+    }
+
+    /// Maps a fresh region and fills it with `u32` values (4-byte stride) —
+    /// the layout of the AES `Td` tables and `rk` array.
+    pub fn array_u32(&mut self, values: &[u32]) -> VAddr {
+        let base = self.page(values.len() as u64 * 4);
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(base.offset(i as u64 * 4), *v);
+        }
+        base
+    }
+
+    /// Reads back a `u64` (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not mapped.
+    pub fn read_u64(&self, va: VAddr) -> u64 {
+        let t = self
+            .aspace
+            .translate(self.phys, va, false)
+            .expect("layout read from mapped page");
+        self.phys.read_u64(t.paddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_land_on_distinct_pages() {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        let mut l = DataLayout::new(&mut phys, asp, VAddr(0x10_0000));
+        let a = l.page(8);
+        let b = l.page(PAGE_BYTES + 1);
+        let c = l.page(8);
+        assert!(!a.same_page(b));
+        assert!(!b.same_page(c));
+        assert_eq!(b.0 - a.0, PAGE_BYTES);
+        assert_eq!(c.0 - b.0, 2 * PAGE_BYTES, "two-page region");
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        let mut l = DataLayout::new(&mut phys, asp, VAddr(0x20_0000));
+        let base = l.array_u64(&[5, 6, 7]);
+        assert_eq!(l.read_u64(base.offset(8)), 6);
+        let b32 = l.array_u32(&[0xaabbccdd, 0x11223344]);
+        assert_eq!(l.read_u64(b32) & 0xffff_ffff, 0xaabbccdd);
+    }
+
+    #[test]
+    fn unaligned_base_is_aligned_up() {
+        let mut phys = PhysMem::new();
+        let asp = AddressSpace::new(&mut phys, 1);
+        let l = DataLayout::new(&mut phys, asp, VAddr(0x10_0001));
+        assert_eq!(l.next.page_offset(), 0);
+        assert!(l.next.0 > 0x10_0001);
+    }
+}

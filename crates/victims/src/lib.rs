@@ -1,0 +1,34 @@
+//! Victim programs for the MicroScope reproduction.
+//!
+//! Each module builds (a) the data layout in simulated physical memory —
+//! with the page-separation properties the attack needs (replay handle,
+//! sensitive data and pivot on *different* pages, paper §4.1.1) — and (b)
+//! the instruction stream, mirroring the paper's figures:
+//!
+//! * [`single_secret`] — Figure 5's `getSecret`: `count++` is the replay
+//!   handle, `secrets[id] / key` is the transmit computation.
+//! * [`control_flow`] — Figure 6: a secret-dependent branch whose sides
+//!   execute two integer multiplications vs. two floating-point divisions.
+//! * [`loop_secret`] — Figure 4b: per-iteration secrets with a pivot.
+//! * [`aes`] — OpenSSL 0.9.8-style T-table AES (reference implementation,
+//!   key schedule, and a compiler to the simulated ISA) for the Figure 8/11
+//!   cache attack.
+//! * [`modexp`] — square-and-multiply modular exponentiation whose
+//!   control flow is the secret exponent (the classic crypto victim).
+//! * [`rdrand`] — the §7.2 integrity victim whose transmit depends on a
+//!   hardware random value.
+//! * [`subnormal`] — a single `divsd` whose operand is secretly subnormal
+//!   (the Andrysco-et-al. FPU timing channel, detectable in one run via
+//!   MicroScope).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod control_flow;
+pub mod layout;
+pub mod loop_secret;
+pub mod modexp;
+pub mod rdrand;
+pub mod single_secret;
+pub mod subnormal;

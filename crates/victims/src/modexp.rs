@@ -1,0 +1,246 @@
+//! Square-and-multiply modular exponentiation — the classic crypto kernel
+//! whose *control flow* is the secret (every RSA/DH side-channel paper's
+//! favourite victim, and exactly the "Control Flow Secret" shape of the
+//! paper's Figure 4c, iterated).
+//!
+//! ```text
+//! acc = 1
+//! for bit in exponent bits, MSB first {
+//!     handle(pub_addrA);                 // replay handle, page A
+//!     acc = acc * acc mod n;             // square (always)
+//!     if bit { acc = acc * m mod n; }    // multiply (secret-dependent)
+//!     pivot(pub_addrB);                  // pivot, page B
+//! }
+//! ```
+//!
+//! The taken side of the branch performs the extra multiply *and* (as in
+//! real implementations, via its instruction/data footprint) touches a
+//! distinguishable cache line. MicroScope's pivot engine steps the attack
+//! one exponent bit per step and the Replayer's probes read the branch
+//! direction — recovering the whole private exponent from one logical run.
+//!
+//! The arithmetic is genuine: the victim really computes `m^d mod n`
+//! (16-bit words, schoolbook modular reduction via repeated subtraction is
+//! avoided by using Rust-checked parameters where `acc * acc` fits in
+//! 64 bits).
+
+use crate::layout::DataLayout;
+use microscope_cpu::{AluOp, Assembler, Cond, Program, Reg};
+use microscope_mem::{AddressSpace, PhysMem, VAddr, LINE_BYTES};
+
+/// Where the modexp victim's pieces live.
+#[derive(Clone, Copy, Debug)]
+pub struct ModExpLayout {
+    /// Page A: the replay handle.
+    pub handle: VAddr,
+    /// Page B: the pivot.
+    pub pivot: VAddr,
+    /// Marker table: iteration `i` touches line `2·i + bit`, so the
+    /// Replayer can attribute an observation to a specific exponent bit
+    /// even when a long speculation window bleeds into the next iteration.
+    pub markers: VAddr,
+    /// Where the final result is stored.
+    pub result: VAddr,
+    /// Exponent bit-width.
+    pub bits: u32,
+}
+
+impl ModExpLayout {
+    /// The marker line for exponent-bit index `i` having value `bit`.
+    pub fn marker(&self, i: u32, bit: bool) -> VAddr {
+        self.markers
+            .offset((u64::from(i) * 2 + u64::from(bit)) * LINE_BYTES)
+    }
+
+    /// All marker lines (the Replayer's probe set).
+    pub fn all_markers(&self) -> Vec<VAddr> {
+        (0..self.bits)
+            .flat_map(|i| [self.marker(i, false), self.marker(i, true)])
+            .collect()
+    }
+}
+
+/// Registers used by the generated program.
+mod r {
+    use microscope_cpu::Reg;
+    pub const ACC: Reg = Reg(1);
+    pub const BASE: Reg = Reg(2);
+    pub const MOD: Reg = Reg(3);
+    pub const EXP: Reg = Reg(4);
+    pub const BIT: Reg = Reg(5);
+    pub const I: Reg = Reg(6);
+    pub const HANDLE: Reg = Reg(7);
+    pub const PIVOT: Reg = Reg(8);
+    pub const MARKERS: Reg = Reg(9);
+    pub const TMP: Reg = Reg(10);
+    pub const SINK: Reg = Reg(11);
+    pub const RESULT_PTR: Reg = Reg(12);
+    pub const Q: Reg = Reg(13);
+    pub const ZERO: Reg = Reg(14);
+}
+
+/// Reference implementation (and the ground truth the attack is scored
+/// against).
+pub fn modexp_reference(base: u64, exponent: u64, modulus: u64, bits: u32) -> u64 {
+    assert!(modulus > 1 && modulus < (1 << 24), "modulus must be small");
+    let mut acc = 1u64 % modulus;
+    for i in (0..bits).rev() {
+        acc = (acc * acc) % modulus;
+        if (exponent >> i) & 1 == 1 {
+            acc = (acc * (base % modulus)) % modulus;
+        }
+    }
+    acc
+}
+
+/// Emits `dst = dst mod modulus` given `dst < modulus^2 < 2^48`, using the
+/// identity `x mod n = x - (x / n) * n` with division by repeated doubling
+/// (binary long division, bounded iterations).
+fn emit_mod(asm: &mut Assembler, dst: Reg, modulus: u64) {
+    // Binary long division: `dst < modulus²`, so the quotient has at most
+    // `nbits + 1` bits — subtract n << k for k = nbits .. 0.
+    let nbits = 64 - modulus.leading_zeros();
+    let top = nbits;
+    for k in (0..=top).rev() {
+        // tmp = n << k; if dst >= tmp { dst -= tmp }
+        let skip = asm.label();
+        asm.imm(r::TMP, modulus << k);
+        asm.branch(Cond::Lt, dst, r::TMP, skip);
+        asm.alu(AluOp::Sub, dst, dst, r::TMP);
+        asm.bind(skip);
+    }
+}
+
+/// Builds the victim computing `base^exponent mod modulus` over `bits`
+/// exponent bits (MSB first), with handle/pivot/marker structure.
+///
+/// # Panics
+///
+/// Panics if `modulus` is not in `2..2^20` (keeps `acc*acc` in 40 bits so
+/// the in-ISA reduction stays cheap).
+pub fn build(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    at: VAddr,
+    base: u64,
+    exponent: u64,
+    modulus: u64,
+    bits: u32,
+) -> (Program, ModExpLayout) {
+    assert!((2..1 << 20).contains(&modulus), "modulus out of range");
+    assert!(bits >= 1 && bits <= 24);
+    let mut layout = DataLayout::new(phys, aspace, at);
+    let handle = layout.page(64);
+    let pivot = layout.page(64);
+    let markers = layout.page(u64::from(bits) * 2 * LINE_BYTES);
+    let result = layout.page(8);
+
+    let mut asm = Assembler::new();
+    asm.imm(r::ACC, 1 % modulus)
+        .imm(r::BASE, base % modulus)
+        .imm(r::MOD, modulus)
+        .imm(r::EXP, exponent)
+        .imm(r::I, bits as u64)
+        .imm(r::HANDLE, handle.0)
+        .imm(r::PIVOT, pivot.0)
+        .imm(r::MARKERS, markers.0)
+        .imm(r::RESULT_PTR, result.0)
+        .imm(r::ZERO, 0);
+    let top = asm.label();
+    asm.bind(top);
+    // i -= 1 (loop from MSB: bit index = i)
+    asm.alu_imm(AluOp::Sub, r::I, r::I, 1);
+    // handle(pub_addrA)
+    asm.load(r::TMP, r::HANDLE, 0);
+    // acc = acc * acc mod n
+    asm.mul(r::ACC, r::ACC, r::ACC);
+    emit_mod(&mut asm, r::ACC, modulus);
+    // bit = (exp >> i) & 1
+    asm.alu(AluOp::Shr, r::BIT, r::EXP, r::I)
+        .alu_imm(AluOp::And, r::BIT, r::BIT, 1);
+    let skip_mul = asm.label();
+    let join = asm.label();
+    // Marker address for this iteration: markers + ((i*2 + bit) << 6).
+    asm.alu_imm(AluOp::Shl, r::SINK, r::I, 1)
+        .alu(AluOp::Or, r::SINK, r::SINK, r::BIT)
+        .alu_imm(AluOp::Shl, r::SINK, r::SINK, 6)
+        .alu(AluOp::Add, r::SINK, r::SINK, r::MARKERS);
+    asm.branch(Cond::Eq, r::BIT, r::ZERO, skip_mul);
+    // taken path: acc = acc * base mod n, then transmit the marker.
+    asm.mul(r::ACC, r::ACC, r::BASE);
+    emit_mod(&mut asm, r::ACC, modulus);
+    asm.load(r::SINK, r::SINK, 0);
+    asm.jmp(join);
+    // not-taken path: transmit its own marker.
+    asm.bind(skip_mul);
+    asm.load(r::SINK, r::SINK, 0);
+    asm.bind(join);
+    // pivot(pub_addrB)
+    asm.load(r::Q, r::PIVOT, 0);
+    asm.branch(Cond::Ne, r::I, r::ZERO, top);
+    asm.store(r::ACC, r::RESULT_PTR, 0);
+    asm.halt();
+
+    (
+        asm.finish(),
+        ModExpLayout {
+            handle,
+            pivot,
+            markers,
+            result,
+            bits,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{ContextId, MachineBuilder};
+    use proptest::prelude::*;
+
+    fn run_victim(base: u64, exp: u64, modulus: u64, bits: u32) -> u64 {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (prog, layout) = build(&mut phys, aspace, VAddr(0x200_0000), base, exp, modulus, bits);
+        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let exit = m.run(50_000_000);
+        assert_eq!(exit, microscope_cpu::RunExit::AllHalted);
+        m.read_virt(ContextId(0), layout.result, 8)
+    }
+
+    #[test]
+    fn computes_modular_exponentiation() {
+        assert_eq!(run_victim(7, 0b1011, 1_000_003, 4), modexp_reference(7, 0b1011, 1_000_003, 4));
+        assert_eq!(run_victim(2, 10, 997, 8), 1024 % 997);
+        assert_eq!(run_victim(5, 0, 97, 4), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn matches_reference_for_random_inputs(
+            base in 2u64..1000,
+            exp in 0u64..256,
+            modulus in 3u64..100_000,
+        ) {
+            prop_assume!(modulus > 2);
+            prop_assert_eq!(
+                run_victim(base, exp, modulus, 8),
+                modexp_reference(base, exp, modulus, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn layout_pages_are_separated() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (_, l) = build(&mut phys, aspace, VAddr(0x200_0000), 3, 5, 1009, 4);
+        assert!(!l.handle.same_page(l.pivot));
+        assert!(!l.handle.same_page(l.markers));
+        assert!(!l.pivot.same_page(l.markers));
+        assert_eq!(l.all_markers().len(), 8);
+        assert_ne!(l.marker(0, false), l.marker(0, true));
+    }
+}

@@ -1,0 +1,117 @@
+//! The RDRAND-biasing victim (paper §7.2, "Attacks on Program Integrity").
+//!
+//! The victim draws a hardware random number and *transmits* its low bit
+//! through a cache-line-indexed load, then commits the value to memory. The
+//! attacker's strategy: keep a replay handle faulting before the RDRAND; on
+//! every replay the (unfenced) RDRAND re-draws, the transmit leaks the new
+//! value's bit, and the Replayer releases the handle only when the bit it
+//! wants comes up — biasing a "random" value.
+//!
+//! On real Intel parts this fails because RDRAND carries a fence; our core
+//! models both behaviours via `CoreConfig::rdrand_is_fenced`.
+
+use crate::layout::DataLayout;
+use microscope_cpu::{Assembler, Program};
+use microscope_mem::{AddressSpace, PhysMem, VAddr, PAGE_BYTES};
+
+/// Layout of the RDRAND victim.
+#[derive(Clone, Copy, Debug)]
+pub struct RdRandLayout {
+    /// The replay-handle page.
+    pub handle: VAddr,
+    /// Transmit table: bit 0 of the random draw selects page 0 or page 1.
+    pub table: VAddr,
+    /// Where the final (retired) random value is stored.
+    pub result: VAddr,
+}
+
+impl RdRandLayout {
+    /// Transmit address for a given bit value.
+    pub fn transmit_addr(&self, bit: u64) -> VAddr {
+        self.table.offset(bit * PAGE_BYTES)
+    }
+}
+
+/// Registers used by the generated program.
+pub mod regs {
+    use microscope_cpu::Reg;
+    /// Handle pointer.
+    pub const HANDLE: Reg = Reg(1);
+    /// Scratch.
+    pub const TMP: Reg = Reg(2);
+    /// The random draw.
+    pub const RAND: Reg = Reg(3);
+    /// Extracted bit / transmit address.
+    pub const BIT: Reg = Reg(4);
+    /// Table base.
+    pub const TABLE: Reg = Reg(5);
+    /// Result pointer.
+    pub const RESULT: Reg = Reg(6);
+    /// Transmit sink.
+    pub const SINK: Reg = Reg(7);
+}
+
+/// Builds the victim: `handle-load; r = rdrand; transmit(table[(r&1) <<
+/// 12]); mem[result] = r`.
+pub fn build(phys: &mut PhysMem, aspace: AddressSpace, base: VAddr) -> (Program, RdRandLayout) {
+    let mut layout = DataLayout::new(phys, aspace, base);
+    let handle = layout.page(64);
+    let table = layout.page(2 * PAGE_BYTES);
+    let result = layout.page(8);
+
+    let mut asm = Assembler::new();
+    asm.imm(regs::HANDLE, handle.0)
+        .imm(regs::TABLE, table.0)
+        .imm(regs::RESULT, result.0)
+        // Replay handle.
+        .load(regs::TMP, regs::HANDLE, 0)
+        // The non-deterministic instruction.
+        .rdrand(regs::RAND)
+        // Transmit: table[(r & 1) * PAGE].
+        .alu_imm(microscope_cpu::AluOp::And, regs::BIT, regs::RAND, 1)
+        .alu_imm(microscope_cpu::AluOp::Shl, regs::BIT, regs::BIT, 12)
+        .alu(microscope_cpu::AluOp::Add, regs::BIT, regs::BIT, regs::TABLE)
+        .load(regs::SINK, regs::BIT, 0)
+        // Commit the value.
+        .store(regs::RAND, regs::RESULT, 0)
+        .halt();
+
+    (
+        asm.finish(),
+        RdRandLayout {
+            handle,
+            table,
+            result,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{ContextId, MachineBuilder};
+
+    #[test]
+    fn victim_commits_a_random_value_and_transmits_its_bit() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (prog, layout) = build(&mut phys, aspace, VAddr(0x70_0000));
+        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        m.run(1_000_000);
+        let committed = m.read_virt(ContextId(0), layout.result, 8);
+        let bit = committed & 1;
+        // The transmit line for the committed bit is cached.
+        let va = layout.transmit_addr(bit);
+        let pa = aspace.translate(&m.hw().phys, va, false).unwrap().paddr;
+        assert!(m.hw().hier.level_of(pa).is_some());
+    }
+
+    #[test]
+    fn transmit_addrs_are_page_separated() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (_, l) = build(&mut phys, aspace, VAddr(0x70_0000));
+        assert!(!l.transmit_addr(0).same_page(l.transmit_addr(1)));
+        assert!(!l.handle.same_page(l.table));
+    }
+}

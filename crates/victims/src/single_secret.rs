@@ -1,0 +1,167 @@
+//! The single-secret victim (paper Figure 4a / Figure 5).
+//!
+//! ```c
+//! static uint64_t count;
+//! static float secrets[512];
+//! float getSecret(int id, float key) {
+//!     count++;                    // replay handle
+//!     return secrets[id] / key;  // measurement access + transmit divide
+//! }
+//! ```
+//!
+//! `count` lives on its own page (the replay handle page); `secrets` on
+//! another. The division is the transmit instruction: with a subnormal
+//! `secrets[id]`, it occupies the divider for far longer — which the
+//! port-contention monitor detects across replays.
+
+use crate::layout::DataLayout;
+use microscope_cpu::{Assembler, Program};
+use microscope_mem::{AddressSpace, PhysMem, VAddr};
+
+/// Where everything ended up, for recipe construction and verification.
+#[derive(Clone, Copy, Debug)]
+pub struct SingleSecretLayout {
+    /// Address of `count` — the replay handle.
+    pub count: VAddr,
+    /// Base of `secrets[512]` (8-byte f64 entries in this reproduction).
+    pub secrets: VAddr,
+    /// Address of the secret element actually accessed (`secrets[id]`).
+    pub accessed_secret: VAddr,
+    /// The index used.
+    pub id: u64,
+}
+
+/// Registers used by the generated program.
+pub mod regs {
+    use microscope_cpu::Reg;
+    /// Holds `count`'s address.
+    pub const COUNT_PTR: Reg = Reg(1);
+    /// Holds the loaded `count` value.
+    pub const COUNT_VAL: Reg = Reg(2);
+    /// Holds the secrets base address.
+    pub const SECRETS_PTR: Reg = Reg(3);
+    /// Holds the loaded secret (f64 bits).
+    pub const SECRET: Reg = Reg(4);
+    /// Holds `key` (f64 bits).
+    pub const KEY: Reg = Reg(5);
+    /// Receives the quotient.
+    pub const RESULT: Reg = Reg(6);
+}
+
+/// Builds the victim. `secrets` is the table content (f64 values); `id`
+/// selects the element; `key` is the divisor.
+///
+/// Returns the program and the layout (handle/secret addresses).
+///
+/// # Panics
+///
+/// Panics if `id` is out of bounds.
+pub fn build(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    base: VAddr,
+    secrets: &[f64],
+    id: u64,
+    key: f64,
+) -> (Program, SingleSecretLayout) {
+    assert!((id as usize) < secrets.len(), "id out of bounds");
+    let mut layout = DataLayout::new(phys, aspace, base);
+    let bits: Vec<u64> = secrets.iter().map(|s| s.to_bits()).collect();
+    let count = layout.page(8);
+    let secrets_base = layout.array_u64(&bits);
+
+    let mut asm = Assembler::new();
+    // count++  — the replay handle (paper Fig. 5b line 6: the mov that
+    // reads `count`).
+    asm.imm(regs::COUNT_PTR, count.0)
+        .load(regs::COUNT_VAL, regs::COUNT_PTR, 0)
+        .alu_imm(
+            microscope_cpu::AluOp::Add,
+            regs::COUNT_VAL,
+            regs::COUNT_VAL,
+            1,
+        )
+        .store(regs::COUNT_VAL, regs::COUNT_PTR, 0);
+    // secrets[id] — the measurement access (Fig. 5b line 11).
+    asm.imm(regs::SECRETS_PTR, secrets_base.0 + id * 8)
+        .load(regs::SECRET, regs::SECRETS_PTR, 0);
+    // secrets[id] / key — the transmit instruction (Fig. 5b line 12).
+    asm.imm_f64(regs::KEY, key)
+        .fdiv(regs::RESULT, regs::SECRET, regs::KEY)
+        .halt();
+
+    (
+        asm.finish(),
+        SingleSecretLayout {
+            count,
+            secrets: secrets_base,
+            accessed_secret: secrets_base.offset(id * 8),
+            id,
+        },
+    )
+}
+
+/// The reference result the program must compute.
+pub fn expected(secrets: &[f64], id: u64, key: f64) -> f64 {
+    secrets[id as usize] / key
+}
+
+/// Convenience for tests/benches: a secrets table whose entries are all
+/// ordinary except `subnormal_at`, which is subnormal.
+pub fn secrets_with_subnormal(len: usize, subnormal_at: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            if i == subnormal_at {
+                f64::MIN_POSITIVE / 8.0
+            } else {
+                (i + 2) as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{ContextId, MachineBuilder};
+
+    #[test]
+    fn program_computes_the_division() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let secrets: Vec<f64> = (0..16).map(|i| i as f64 + 1.0).collect();
+        let (prog, layout) = build(&mut phys, aspace, VAddr(0x40_0000), &secrets, 5, 2.0);
+        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        m.run(1_000_000);
+        let ctx = m.context(ContextId(0));
+        assert_eq!(ctx.reg_f64(regs::RESULT), expected(&secrets, 5, 2.0));
+        // count incremented exactly once.
+        assert_eq!(m.read_virt(ContextId(0), layout.count, 8), 1);
+    }
+
+    #[test]
+    fn handle_and_secret_are_on_distinct_pages() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let secrets = secrets_with_subnormal(8, 3);
+        let (_, layout) = build(&mut phys, aspace, VAddr(0x40_0000), &secrets, 3, 1.0);
+        assert!(!layout.count.same_page(layout.accessed_secret));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_id_rejected() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let _ = build(&mut phys, aspace, VAddr(0x40_0000), &[1.0], 1, 1.0);
+    }
+
+    #[test]
+    fn subnormal_table_is_subnormal_only_at_index() {
+        let s = secrets_with_subnormal(8, 2);
+        use std::num::FpCategory::Subnormal;
+        for (i, v) in s.iter().enumerate() {
+            assert_eq!(v.classify() == Subnormal, i == 2);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The subnormal-floating-point victim (paper §4.3: "one example is
+//! whether an individual floating-point operation receives a subnormal
+//! input"; Andrysco et al.'s channel, but at single-instruction
+//! granularity).
+//!
+//! The victim performs exactly one `divsd` whose dividend is secret: either
+//! an ordinary value or a subnormal one. On the modelled core (as on real
+//! FPUs) the subnormal case occupies the divider several times longer —
+//! long enough for a replaying monitor to classify it from contention,
+//! where a whole-program timing attack would drown in noise.
+
+use crate::layout::DataLayout;
+use microscope_cpu::{Assembler, Program};
+use microscope_mem::{AddressSpace, PhysMem, VAddr};
+
+/// Layout of the subnormal victim.
+#[derive(Clone, Copy, Debug)]
+pub struct SubnormalLayout {
+    /// Replay-handle page.
+    pub handle: VAddr,
+    /// Page holding the secret operand.
+    pub operand: VAddr,
+}
+
+/// Registers used by the generated program.
+pub mod regs {
+    use microscope_cpu::Reg;
+    /// Handle pointer.
+    pub const HANDLE: Reg = Reg(1);
+    /// Scratch.
+    pub const TMP: Reg = Reg(2);
+    /// Secret dividend (f64 bits).
+    pub const X: Reg = Reg(3);
+    /// Public divisor.
+    pub const Y: Reg = Reg(4);
+    /// Quotient.
+    pub const Q: Reg = Reg(5);
+}
+
+/// Builds the victim. When `subnormal` is true the secret operand is a
+/// subnormal f64; otherwise an ordinary one.
+///
+/// Note the operand is loaded *before* the replay handle so the division's
+/// input is register-resident during every replay (the division is not
+/// data-dependent on the handle — §4.1.1's second condition).
+pub fn build(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    base: VAddr,
+    subnormal: bool,
+) -> (Program, SubnormalLayout) {
+    let mut layout = DataLayout::new(phys, aspace, base);
+    let handle = layout.page(64);
+    let operand = layout.page(8);
+    let secret = if subnormal {
+        f64::MIN_POSITIVE / 16.0
+    } else {
+        1234.5
+    };
+    layout.write_u64(operand, secret.to_bits());
+
+    let mut asm = Assembler::new();
+    asm.imm(regs::X, operand.0)
+        .load(regs::X, regs::X, 0)
+        .imm_f64(regs::Y, 3.0)
+        // Replay handle.
+        .imm(regs::HANDLE, handle.0)
+        .load(regs::TMP, regs::HANDLE, 0)
+        // The single secret-dependent division.
+        .fdiv(regs::Q, regs::X, regs::Y)
+        .halt();
+
+    (asm.finish(), SubnormalLayout { handle, operand })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{ContextId, MachineBuilder};
+
+    #[test]
+    fn computes_the_quotient() {
+        let mut phys = PhysMem::new();
+        let aspace = AddressSpace::new(&mut phys, 1);
+        let (prog, _) = build(&mut phys, aspace, VAddr(0x80_0000), false);
+        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        m.run(1_000_000);
+        assert_eq!(m.context(ContextId(0)).reg_f64(regs::Q), 1234.5 / 3.0);
+    }
+
+    #[test]
+    fn subnormal_run_takes_longer() {
+        let run = |subnormal: bool| {
+            let mut phys = PhysMem::new();
+            let aspace = AddressSpace::new(&mut phys, 1);
+            let (prog, _) = build(&mut phys, aspace, VAddr(0x80_0000), subnormal);
+            let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+            m.run(1_000_000);
+            m.cycle()
+        };
+        let slow = run(true);
+        let fast = run(false);
+        assert!(
+            slow > fast + 50,
+            "subnormal divide must be much slower: {slow} vs {fast}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The §4.4/§6.2 cache attack: single-step one AES-128 decryption with the
+//! rk-page replay handle and Td0-page pivot, extracting the table lines
+//! every round touches — from **one** logical run.
+//!
+//! ```text
+//! cargo run --release --example aes_attack
+//! ```
+
+use microscope::channels::aes_attack::{run, AesAttackConfig};
+use microscope::os::WalkTuning;
+use microscope::victims::aes::KeySize;
+
+fn main() {
+    let cfg = AesAttackConfig {
+        key: vec![
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ],
+        size: KeySize::Aes128,
+        block: *b"attack this blk!",
+        replays_per_step: 3,
+        max_steps: 48,
+        walk: WalkTuning::Length { levels: 2 },
+        ..AesAttackConfig::default()
+    };
+    println!("== AES T-table attack (one logical decryption) ==\n");
+    let out = run(&cfg);
+    let truth = out.truth_lines();
+    let got = out.extracted_lines(100);
+    let (recall, precision) = out.score(100);
+
+    for t in 0..4u8 {
+        let line_set: Vec<u8> = got
+            .iter()
+            .filter(|(tb, _)| *tb == t)
+            .map(|(_, l)| *l)
+            .collect();
+        println!("Td{t}: extracted lines {line_set:?}");
+    }
+    println!(
+        "\nground truth: {} distinct (table, line) pairs; extracted {}",
+        truth.len(),
+        got.len()
+    );
+    println!("recall {recall:.2}, precision {precision:.2}");
+    println!(
+        "replays: {}, pivot steps: {}, decryption output {}",
+        out.report.replays(),
+        out.report.module.steps.first().copied().unwrap_or(0),
+        if out.decrypted_correctly {
+            "CORRECT (attack invisible to the victim)"
+        } else {
+            "corrupted?!"
+        }
+    );
+}

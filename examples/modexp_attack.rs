@@ -1,0 +1,55 @@
+//! Recover a private exponent from ONE modular exponentiation.
+//!
+//! Square-and-multiply is every RSA side-channel's favourite victim: one
+//! secret-dependent branch per exponent bit. MicroScope's pivot walks the
+//! loop bit by bit while the Replayer's probes read each branch direction —
+//! turning the paper's Control-Flow-Secret scenario (§4.2.3) into full key
+//! recovery from a single logical run.
+//!
+//! ```text
+//! cargo run --release --example modexp_attack
+//! ```
+
+use microscope::channels::modexp_attack::{run, ModExpAttackConfig};
+
+fn main() {
+    let cfg = ModExpAttackConfig {
+        base: 0x4d5a,
+        exponent: 0xA7, // the secret: 1010_0111
+        modulus: 1_000_003,
+        bits: 8,
+        replays_per_step: 3,
+        max_cycles: 120_000_000,
+    };
+    println!("== square-and-multiply exponent recovery ==");
+    println!(
+        "victim computes {:#x}^d mod {} with secret d ({} bits)\n",
+        cfg.base, cfg.modulus, cfg.bits
+    );
+    let out = run(&cfg);
+    print!("recovered bits (MSB..LSB): ");
+    for i in (0..cfg.bits).rev() {
+        match out.bits[i as usize] {
+            Some(true) => print!("1"),
+            Some(false) => print!("0"),
+            None => print!("?"),
+        }
+    }
+    println!();
+    println!("recovered exponent: {:#04x}", out.exponent);
+    println!("true secret:        {:#04x}", cfg.exponent);
+    println!(
+        "bit accuracy: {:.0}%  |  replays: {}  |  pivot steps: {}",
+        100.0 * out.accuracy(cfg.exponent),
+        out.report.replays(),
+        out.report.module.steps.first().copied().unwrap_or(0)
+    );
+    println!(
+        "victim's arithmetic result: {}",
+        if out.result_correct {
+            "CORRECT (attack architecturally invisible)"
+        } else {
+            "corrupted?!"
+        }
+    );
+}

@@ -1,0 +1,59 @@
+//! # MicroScope — a microarchitectural replay attack framework
+//!
+//! A from-scratch Rust reproduction of *"MicroScope: Enabling
+//! Microarchitectural Replay Attacks"* (Skarlatos, Yan, Gopireddy,
+//! Sprabery, Torrellas, Fletcher — ISCA 2019), including every substrate
+//! the paper depends on: a cycle-level out-of-order SMT core, an x86-style
+//! virtual-memory system whose page tables live in simulated memory, a
+//! three-level cache hierarchy with a DRAM row-buffer model, an SGX-style
+//! enclave layer, and a malicious OS kernel hosting the MicroScope attack
+//! module.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`cache`] — caches, DRAM, page-walk cache, L1 banking
+//! * [`mem`] — physical memory, page tables, TLBs, hardware page walker
+//! * [`cpu`] — the out-of-order SMT machine (ROB, ports, TSX, RDRAND)
+//! * [`enclave`] — SGX-style AEX sanitization, attestation, run-once
+//! * [`os`] — the kernel + MicroScope module (recipes, Table-2 API)
+//! * [`core`] — attack sessions (Replayer/Victim/Monitor) and denoising
+//! * [`victims`] — Figure-5/6/4b victims, T-table AES, RDRAND, subnormals
+//! * [`channels`] — port-contention & cache monitors, Table-1 taxonomy
+//! * [`defenses`] — §8 countermeasures, each evaluated against the attack
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use microscope::core::SessionBuilder;
+//! use microscope::cpu::ContextId;
+//! use microscope::mem::VAddr;
+//! use microscope::victims::single_secret;
+//!
+//! // Build the Figure-5 victim: count++ (replay handle), secrets[id]/key.
+//! let mut b = SessionBuilder::new();
+//! let aspace = b.new_aspace(1);
+//! let secrets = single_secret::secrets_with_subnormal(16, 5);
+//! let (prog, layout) =
+//!     single_secret::build(b.phys(), aspace, VAddr(0x1000_0000), &secrets, 5, 3.0);
+//! b.victim(prog, aspace);
+//!
+//! // Ask the kernel module to replay the handle ten times (Table-2 API).
+//! let id = b.module().provide_replay_handle(ContextId(0), layout.count);
+//! b.module().recipe_mut(id).replays_per_step = 10;
+//!
+//! let mut session = b.build();
+//! let report = session.run(10_000_000);
+//! assert_eq!(report.replays(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use microscope_cache as cache;
+pub use microscope_channels as channels;
+pub use microscope_core as core;
+pub use microscope_cpu as cpu;
+pub use microscope_defenses as defenses;
+pub use microscope_enclave as enclave;
+pub use microscope_mem as mem;
+pub use microscope_os as os;
+pub use microscope_victims as victims;

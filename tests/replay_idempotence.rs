@@ -1,0 +1,127 @@
+//! The fundamental correctness property behind the whole attack class:
+//! **replays are architecturally invisible**. For arbitrary straight-line
+//! victims, N replays of a handle leave exactly the architectural state of
+//! an unattacked run — the attack steals microarchitectural samples, never
+//! architectural results (which is precisely why SGX's integrity story
+//! does not notice it).
+
+use microscope::core::SessionBuilder;
+use microscope::cpu::{AluOp, Assembler, ContextId, Program, Reg};
+use microscope::mem::{AddressSpace, PhysMem, VAddr, PAGE_BYTES};
+use microscope::victims::layout::DataLayout;
+use proptest::prelude::*;
+
+/// A tiny program generator: interleaves ALU ops, loads and stores over a
+/// small data page, with a replay-handle load at a random position.
+#[derive(Clone, Debug)]
+enum Op {
+    AluImm(u8, u8, u8, u8), // op selector, dst, src, imm
+    Load(u8, u8),           // dst, slot
+    Store(u8, u8),          // src, slot
+    Mul(u8, u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, 1u8..12, 1u8..12, 0u8..32).prop_map(|(o, d, s, i)| Op::AluImm(o, d, s, i)),
+        (1u8..12, 0u8..8).prop_map(|(d, s)| Op::Load(d, s)),
+        (1u8..12, 0u8..8).prop_map(|(s, sl)| Op::Store(s, sl)),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, a, b)| Op::Mul(d, a, b)),
+    ]
+}
+
+fn build_program(
+    phys: &mut PhysMem,
+    aspace: AddressSpace,
+    ops: &[Op],
+    handle_pos: usize,
+) -> (Program, VAddr) {
+    let mut layout = DataLayout::new(phys, aspace, VAddr(0x1000_0000));
+    let handle = layout.page(64);
+    let data = layout.page(PAGE_BYTES);
+    for slot in 0..8u64 {
+        layout.write_u64(data.offset(slot * 8), slot * 1_000 + 13);
+    }
+    let dp = Reg(13);
+    let hp = Reg(14);
+    let mut asm = Assembler::new();
+    asm.imm(dp, data.0).imm(hp, handle.0);
+    // Seed registers deterministically.
+    for r in 1..12u8 {
+        asm.imm(Reg(r), u64::from(r) * 7 + 1);
+    }
+    let alu = |sel: u8| match sel % 5 {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Xor,
+        3 => AluOp::And,
+        _ => AluOp::Or,
+    };
+    for (i, op) in ops.iter().enumerate() {
+        if i == handle_pos {
+            asm.load(Reg(15), hp, 0); // the replay handle
+        }
+        match *op {
+            Op::AluImm(o, d, s, imm) => {
+                asm.alu_imm(alu(o), Reg(d), Reg(s), u64::from(imm));
+            }
+            Op::Load(d, slot) => {
+                asm.load(Reg(d), dp, i64::from(slot) * 8);
+            }
+            Op::Store(s, slot) => {
+                asm.store(Reg(s), dp, i64::from(slot) * 8);
+            }
+            Op::Mul(d, a, b) => {
+                asm.mul(Reg(d), Reg(a), Reg(b));
+            }
+        }
+    }
+    asm.halt();
+    (asm.finish(), handle)
+}
+
+/// Runs the program with `replays` forced replays (0 = honest run) and
+/// returns (registers, data page contents).
+fn run(ops: &[Op], handle_pos: usize, replays: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut b = SessionBuilder::new();
+    let aspace = b.new_aspace(1);
+    let (prog, handle) = build_program(b.phys(), aspace, ops, handle_pos);
+    b.victim(prog, aspace);
+    if replays > 0 {
+        let id = b.module().provide_replay_handle(ContextId(0), handle);
+        b.module().recipe_mut(id).replays_per_step = replays;
+    }
+    let mut session = b.build();
+    let report = session.run(80_000_000);
+    assert!(
+        session.machine().context(ContextId(0)).halted(),
+        "victim must finish (replays={replays}, exit={:?})",
+        report.exit
+    );
+    if replays > 0 {
+        assert_eq!(report.replays(), replays);
+    }
+    let machine = session.machine();
+    let regs: Vec<u64> = (0..16).map(|r| machine.context(ContextId(0)).reg(Reg(r))).collect();
+    let data_base = VAddr(0x1000_0000 + PAGE_BYTES); // second page of the layout
+    let mem: Vec<u64> = (0..8)
+        .map(|slot| machine.read_virt(ContextId(0), data_base.offset(slot * 8), 8))
+        .collect();
+    (regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn replays_are_architecturally_invisible(
+        ops in prop::collection::vec(arb_op(), 4..24),
+        handle_frac in 0.0f64..1.0,
+        replays in 1u64..12,
+    ) {
+        let handle_pos = ((ops.len() as f64 * handle_frac) as usize).min(ops.len() - 1);
+        let honest = run(&ops, handle_pos, 0);
+        let attacked = run(&ops, handle_pos, replays);
+        prop_assert_eq!(&honest.0, &attacked.0, "registers must match");
+        prop_assert_eq!(&honest.1, &attacked.1, "memory must match");
+    }
+}
