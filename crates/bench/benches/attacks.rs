@@ -19,8 +19,7 @@ fn bench_replay_cycle(c: &mut Criterion) {
                 || {
                     let mut builder = SessionBuilder::new();
                     let aspace = builder.new_aspace(1);
-                    let mut layout =
-                        DataLayout::new(builder.phys(), aspace, VAddr(0x1000_0000));
+                    let mut layout = DataLayout::new(builder.phys(), aspace, VAddr(0x1000_0000));
                     let handle = layout.page(64);
                     let transmit = layout.page(64);
                     let mut asm = Assembler::new();
@@ -30,9 +29,7 @@ fn bench_replay_cycle(c: &mut Criterion) {
                         .load(Reg(4), Reg(3), 0)
                         .halt();
                     builder.victim(asm.finish(), aspace);
-                    let id = builder
-                        .module()
-                        .provide_replay_handle(ContextId(0), handle);
+                    let id = builder.module().provide_replay_handle(ContextId(0), handle);
                     builder.module().recipe_mut(id).replays_per_step = replays;
                     builder.build()
                 },
@@ -51,8 +48,7 @@ fn bench_replay_cycle(c: &mut Criterion) {
 fn bench_probe_prime(c: &mut Criterion) {
     use microscope_cpu::{BranchPredictor, HwParts, PredictorConfig};
     use microscope_mem::{
-        AddressSpace, PageWalker, PhysMem, PteFlags, TlbHierarchy, TlbHierarchyConfig,
-        WalkerConfig,
+        AddressSpace, PageWalker, PhysMem, PteFlags, TlbHierarchy, TlbHierarchyConfig, WalkerConfig,
     };
     c.bench_function("attack/probe_prime_64_lines", |b| {
         let mut phys = PhysMem::new();
@@ -85,6 +81,7 @@ fn bench_port_contention_session(c: &mut Criterion) {
             walk: WalkTuning::Long,
             max_cycles: 5_000_000,
             ambient_interrupt_retires: None,
+            probe: None,
         };
         b.iter(|| std::hint::black_box(run_attack(true, &cfg).monitor_samples.len()));
     });

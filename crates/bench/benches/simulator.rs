@@ -35,7 +35,11 @@ fn bench_page_walks(c: &mut Criterion) {
         let mut walker = PageWalker::new(WalkerConfig::default());
         walker.walk(&mut phys, &mut hier, &aspace, va, false);
         b.iter(|| {
-            std::hint::black_box(walker.walk(&mut phys, &mut hier, &aspace, va, false).latency)
+            std::hint::black_box(
+                walker
+                    .walk(&mut phys, &mut hier, &aspace, va, false)
+                    .latency,
+            )
         });
     });
     c.bench_function("walker/cold_walk_with_flush", |b| {
@@ -46,7 +50,11 @@ fn bench_page_walks(c: &mut Criterion) {
                 hier.flush_line(pa);
             }
             walker.pwc_mut().flush_all();
-            std::hint::black_box(walker.walk(&mut phys, &mut hier, &aspace, va, false).latency)
+            std::hint::black_box(
+                walker
+                    .walk(&mut phys, &mut hier, &aspace, va, false)
+                    .latency,
+            )
         });
     });
 }
@@ -98,7 +106,10 @@ fn bench_aes(c: &mut Criterion) {
                     &ct,
                 );
                 (
-                    MachineBuilder::new().phys(phys).context_in(prog, aspace).build(),
+                    MachineBuilder::new()
+                        .phys(phys)
+                        .context_in(prog, aspace)
+                        .build(),
                     layout,
                     aspace,
                 )

@@ -94,7 +94,14 @@ fn main() {
             leaked.to_string(),
         ]);
     }
-    print_table(&["walk tuning", "replay period (cycles)", "lines leaked/replay"], &rows);
+    print_table(
+        &[
+            "walk tuning",
+            "replay period (cycles)",
+            "lines leaked/replay",
+        ],
+        &rows,
+    );
     println!();
     let leaks: Vec<usize> = results.iter().map(|(_, _, l)| *l).collect();
     let ok1 = shape_check(

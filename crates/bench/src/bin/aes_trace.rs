@@ -34,16 +34,21 @@ fn main() {
     let steps = out.report.module.steps.first().copied().unwrap_or(0);
     let mut rows = Vec::new();
     for t in 0..4u8 {
-        let truth_t: Vec<u8> = truth.iter().filter(|(tb, _)| *tb == t).map(|(_, l)| *l).collect();
-        let got_t: Vec<u8> = got.iter().filter(|(tb, _)| *tb == t).map(|(_, l)| *l).collect();
+        let truth_t: Vec<u8> = truth
+            .iter()
+            .filter(|(tb, _)| *tb == t)
+            .map(|(_, l)| *l)
+            .collect();
+        let got_t: Vec<u8> = got
+            .iter()
+            .filter(|(tb, _)| *tb == t)
+            .map(|(_, l)| *l)
+            .collect();
         rows.push(vec![
             format!("Td{t}"),
             format!("{} lines", truth_t.len()),
             format!("{} lines", got_t.len()),
-            format!(
-                "{}",
-                got_t.iter().filter(|l| truth_t.contains(l)).count()
-            ),
+            format!("{}", got_t.iter().filter(|l| truth_t.contains(l)).count()),
         ]);
     }
     print_table(&["table", "ground truth", "extracted", "correct"], &rows);

@@ -4,25 +4,27 @@
 //! and their ratio (paper: 4 vs 64, a 16× gap).
 //!
 //! Run with `cargo run --release -p microscope-bench --bin fig10`.
-//! Pass `--samples N` to change the monitor sample count.
+//! Pass `--samples N` to change the monitor sample count, `--trace-out
+//! PATH` / `--metrics-out PATH` to export the division victim's
+//! cross-layer trace (Perfetto-loadable) and metric registry.
 
-use microscope_bench::{histogram, print_table, shape_check, summarize_latencies};
+use microscope_bench::{histogram, print_table, shape_check, summarize_latencies, ExportFlags};
 use microscope_channels::port_contention::{figure10, PortContentionConfig};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let export = ExportFlags::extract(&mut args);
     let mut samples = 10_000u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         if a == "--samples" {
-            samples = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--samples N");
+            samples = it.next().and_then(|v| v.parse().ok()).expect("--samples N");
         }
     }
     let cfg = PortContentionConfig {
         samples,
         replays: samples / 2,
+        probe: export.recorder(),
         ..PortContentionConfig::default()
     };
     println!("== Figure 10: port-contention attack ({samples} monitor samples) ==");
@@ -30,8 +32,14 @@ fn main() {
     println!("replay handle: addq counter on its own page; walk tuning: long\n");
     let r = figure10(&cfg);
 
-    println!("{}", summarize_latencies("Fig10a (mul victim)", &r.mul_samples));
-    println!("{}", summarize_latencies("Fig10b (div victim)", &r.div_samples));
+    println!(
+        "{}",
+        summarize_latencies("Fig10a (mul victim)", &r.mul_samples)
+    );
+    println!(
+        "{}",
+        summarize_latencies("Fig10b (div victim)", &r.div_samples)
+    );
     println!("\nFig10a latency histogram (cycles):");
     print!("{}", histogram(&r.mul_samples, 8, 16));
     println!("\nFig10b latency histogram (cycles):");
@@ -54,12 +62,23 @@ fn main() {
             ],
         ],
     );
-    println!("\nover-threshold ratio (div/mul): {:.1}x (paper: 16x — 64 vs 4)", r.ratio);
+    println!(
+        "\nover-threshold ratio (div/mul): {:.1}x (paper: 16x — 64 vs 4)",
+        r.ratio
+    );
+
+    if let Some(report) = &r.div_report {
+        export.export(report);
+    }
 
     let ok1 = shape_check(
         "few baseline outliers",
         r.over.0 * 50 < r.mul_samples.len(),
-        &format!("{} of {} mul samples over threshold", r.over.0, r.mul_samples.len()),
+        &format!(
+            "{} of {} mul samples over threshold",
+            r.over.0,
+            r.mul_samples.len()
+        ),
     );
     let ok2 = shape_check(
         "division victim clearly distinguishable",

@@ -7,12 +7,14 @@
 //! Replays 1 and 2 (primed) are clean and identical: exactly the lines the
 //! replayed window touches hit in L1, everything else misses to memory.
 
-use microscope_bench::{print_table, shape_check};
+use microscope_bench::{print_table, shape_check, ExportFlags};
 use microscope_cache::{CacheConfig, HierarchyConfig};
 use microscope_channels::aes_attack::{self, AesAttackConfig};
 use microscope_os::WalkTuning;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let export = ExportFlags::extract(&mut args);
     // A small L1/L2 gives the table lines a natural lifetime across the
     // hierarchy (on the paper's loaded machine, system noise does this), so
     // the unprimed Replay-0 probe sees L1 hits, L2/L3 hits AND misses.
@@ -29,12 +31,14 @@ fn main() {
         walk: WalkTuning::Length { levels: 2 },
         defer_arm: Some(220), // mid-decryption, caches naturally warm
         hier: Some(hier),
+        probe: export.recorder(),
         ..AesAttackConfig::default()
     };
     println!("== Figure 11: Td1 probe latencies across three replays of one iteration ==");
     println!("victim: OpenSSL-style T-table AES-128 decryption (one block)");
     println!("handle: rk page; pivot: Td0 page; probes: all 64 Td lines; primed between replays\n");
     let out = aes_attack::run(&cfg);
+    export.export(&out.report);
     let obs = &out.report.module.observations;
     assert!(obs.len() >= 3, "expected 3 replays, got {}", obs.len());
 
@@ -86,13 +90,8 @@ fn main() {
     let ok_bimodal = shape_check(
         "primed replays are bimodal",
         (1..=8).contains(&r1_hits.len())
-            && r1
-                .iter()
-                .all(|l| *l <= l1_threshold || *l >= mem_threshold),
-        &format!(
-            "{} lines hit L1, the rest miss to memory",
-            r1_hits.len()
-        ),
+            && r1.iter().all(|l| *l <= l1_threshold || *l >= mem_threshold),
+        &format!("{} lines hit L1, the rest miss to memory", r1_hits.len()),
     );
     let ok_arch = shape_check(
         "decryption unperturbed",

@@ -95,7 +95,10 @@ fn mispredict_replays(k: usize) -> u64 {
     asm.load(v, tp, 0) // the transmit: replayed on every squash
         .halt();
     let prog = asm.finish();
-    let mut m = MachineBuilder::new().phys(phys).context_in(prog, asp).build();
+    let mut m = MachineBuilder::new()
+        .phys(phys)
+        .context_in(prog, asp)
+        .build();
     for pc in &branch_pcs {
         m.hw_mut().predictor.prime(*pc, true); // wrong direction
     }
@@ -139,7 +142,12 @@ fn main() {
     let ok2 = shape_check(
         "multiple in-flight mispredicts yield multiple replays",
         mispredict_results.iter().all(|(_, n)| *n >= 2)
-            && mispredict_results.iter().map(|(_, n)| *n).max().unwrap_or(0) >= 4,
+            && mispredict_results
+                .iter()
+                .map(|(_, n)| *n)
+                .max()
+                .unwrap_or(0)
+                >= 4,
         &format!("{mispredict_results:?}"),
     );
     let ok3 = shape_check(

@@ -20,7 +20,12 @@ fn main() {
     let unfenced = rdrand_bias_successes(false, trials, 1);
     let fenced = rdrand_bias_successes(true, trials, 1);
     print_table(
-        &["RDRAND implementation", "target-bit commits", "trials", "bias"],
+        &[
+            "RDRAND implementation",
+            "target-bit commits",
+            "trials",
+            "bias",
+        ],
         &[
             vec![
                 "unfenced (hypothetical)".into(),

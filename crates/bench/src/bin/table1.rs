@@ -7,15 +7,20 @@
 //! 1.0 ⇒ noiseless; ≪1.0 ⇒ the attack needs many traces) and the
 //! channel's spatial granularity in bytes.
 
-use microscope_bench::{print_table, shape_check};
+use microscope_bench::{print_table, shape_check, ExportFlags};
 use microscope_channels::taxonomy::{catalog, Noise, Temporal};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let export = ExportFlags::extract(&mut raw);
+    let mut args = raw.into_iter();
     let mut trials = 30u32;
     while let Some(a) = args.next() {
         if a == "--trials" {
-            trials = args.next().and_then(|v| v.parse().ok()).expect("--trials N");
+            trials = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--trials N");
         }
     }
     println!("== Table 1: side-channel taxonomy, measured ({trials} trials/row) ==\n");
@@ -34,7 +39,11 @@ fn main() {
             row.citation.to_string(),
             format!(
                 "{}{}",
-                if row.spatial.is_fine_grain() { "fine " } else { "coarse " },
+                if row.spatial.is_fine_grain() {
+                    "fine "
+                } else {
+                    "coarse "
+                },
                 row.spatial.bytes()
             ),
             match row.temporal {
@@ -87,12 +96,29 @@ fn main() {
     let ok3 = shape_check(
         "MicroScope: fine grain, high resolution, no noise",
         acc("MicroScope") >= 0.99,
-        &format!("accuracy {:.2} from a single logical run", acc("MicroScope")),
+        &format!(
+            "accuracy {:.2} from a single logical run",
+            acc("MicroScope")
+        ),
     );
     let ok4 = shape_check(
         "MicroScope >= one-shot port contention",
         acc("MicroScope") >= acc("one shot"),
         &format!("{:.2} vs {:.2}", acc("MicroScope"), acc("one shot")),
     );
+    // On request, export the cross-layer trace/metrics of one
+    // representative MicroScope run (the table rows themselves only return
+    // aggregate accuracies).
+    if export.active() {
+        let cfg = microscope_channels::port_contention::PortContentionConfig {
+            samples: 400,
+            replays: 300,
+            ambient_interrupt_retires: None,
+            probe: export.recorder(),
+            ..Default::default()
+        };
+        let report = microscope_channels::port_contention::run_attack(true, &cfg);
+        export.export(&report);
+    }
     std::process::exit(if ok1 && ok2 && ok3 && ok4 { 0 } else { 1 });
 }

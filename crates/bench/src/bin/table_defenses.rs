@@ -62,12 +62,19 @@ fn main() {
     let ok4 = shape_check(
         "PF-obliviousness adds replay handles",
         pf.leak_defended > pf.leak_undefended,
-        &format!("{} -> {} candidate handles", pf.leak_undefended, pf.leak_defended),
+        &format!(
+            "{} -> {} candidate handles",
+            pf.leak_undefended, pf.leak_defended
+        ),
     );
     let ok5 = shape_check(
         "invisible speculation: cache channel dies, port channel survives",
         get("vs cache").effective && !get("vs port").effective,
         "coverage gap exactly as the paper argues",
     );
-    std::process::exit(if ok1 && ok2 && ok3 && ok4 && ok5 { 0 } else { 1 });
+    std::process::exit(if ok1 && ok2 && ok3 && ok4 && ok5 {
+        0
+    } else {
+        1
+    });
 }

@@ -95,6 +95,91 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// `--trace-out` / `--metrics-out` flags shared by the figure binaries.
+///
+/// When either is set the binary enables the cross-layer probe, runs the
+/// attack, and writes the Chrome trace-event JSON (Perfetto-loadable) and/or
+/// the JSONL metric dump of the resulting [`AttackReport`].
+#[derive(Clone, Debug, Default)]
+pub struct ExportFlags {
+    /// Destination for the Chrome-trace JSON (`--trace-out PATH`).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Destination for the JSONL metric dump (`--metrics-out PATH`).
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+fn require_value(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a PATH argument");
+        std::process::exit(2);
+    })
+}
+
+fn write_or_die(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+impl ExportFlags {
+    /// Extracts the export flags from `args` (removing them), leaving
+    /// unrelated arguments for the binary's own parser.
+    pub fn extract(args: &mut Vec<String>) -> ExportFlags {
+        let mut flags = ExportFlags::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = args.drain(..);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace-out" => {
+                    flags.trace_out = Some(require_value(it.next(), "--trace-out").into());
+                }
+                "--metrics-out" => {
+                    flags.metrics_out = Some(require_value(it.next(), "--metrics-out").into());
+                }
+                _ => rest.push(a),
+            }
+        }
+        drop(it);
+        *args = rest;
+        flags
+    }
+
+    /// Whether any export was requested (tracing must then be enabled).
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// The recorder configuration implied by the flags: `Some` (enabled)
+    /// when an export destination was given, `None` otherwise.
+    pub fn recorder(&self) -> Option<microscope_probe::RecorderConfig> {
+        self.active()
+            .then(microscope_probe::RecorderConfig::default)
+    }
+
+    /// Writes the report's trace and metrics to the requested paths.
+    pub fn export(&self, report: &microscope_core::AttackReport) {
+        if let Some(path) = &self.trace_out {
+            let json = microscope_probe::export::chrome_trace(&report.trace);
+            write_or_die(path, &json);
+            println!(
+                "wrote {} trace events ({} dropped) to {}",
+                report.trace.len(),
+                report.dropped_events,
+                path.display()
+            );
+        }
+        if let Some(path) = &self.metrics_out {
+            write_or_die(path, &report.metrics.to_jsonl());
+            println!(
+                "wrote {} metrics to {}",
+                report.metrics.len(),
+                path.display()
+            );
+        }
+    }
+}
+
 /// A PASS/FAIL shape check, printed and returned.
 pub fn shape_check(name: &str, ok: bool, detail: &str) -> bool {
     println!(

@@ -6,6 +6,7 @@ use crate::cache::Cache;
 use crate::config::HierarchyConfig;
 use crate::dram::DramModel;
 use crate::stats::HierarchyStats;
+use microscope_probe::{CacheTier, EventKind, Probe};
 
 /// The level at which an access was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +30,17 @@ impl std::fmt::Display for Level {
             Level::Memory => "memory",
         };
         f.write_str(s)
+    }
+}
+
+impl From<Level> for CacheTier {
+    fn from(level: Level) -> CacheTier {
+        match level {
+            Level::L1 => CacheTier::L1,
+            Level::L2 => CacheTier::L2,
+            Level::L3 => CacheTier::L3,
+            Level::Memory => CacheTier::Memory,
+        }
     }
 }
 
@@ -67,6 +79,7 @@ pub struct MemoryHierarchy {
     dram: DramModel,
     banks: BankModel,
     stats: HierarchyStats,
+    probe: Probe,
 }
 
 impl MemoryHierarchy {
@@ -80,7 +93,13 @@ impl MemoryHierarchy {
             banks: BankModel::new(cfg.l1_banks, cfg.bank_conflict_penalty),
             cfg,
             stats: HierarchyStats::default(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Connects the hierarchy to a shared event bus.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The configuration in use.
@@ -101,6 +120,19 @@ impl MemoryHierarchy {
 
     /// Like [`MemoryHierarchy::access`], taking a line address directly.
     pub fn access_line(&mut self, line: LineAddr) -> AccessResult {
+        let result = self.access_line_inner(line);
+        self.probe.emit(
+            None,
+            EventKind::CacheAccess {
+                line: line.0,
+                tier: result.level.into(),
+                latency: result.latency,
+            },
+        );
+        result
+    }
+
+    fn access_line_inner(&mut self, line: LineAddr) -> AccessResult {
         let mut latency = self.cfg.l1.hit_latency;
         if self.l1.lookup(line) {
             self.stats.l1.hits += 1;
@@ -153,11 +185,22 @@ impl MemoryHierarchy {
     fn fill_l3(&mut self, line: LineAddr) {
         if let Some(victim) = self.l3.insert(line) {
             // Inclusive hierarchy: L3 eviction back-invalidates inner levels.
+            let mut invalidated = false;
             if self.l1.flush_line(victim.line) {
                 self.stats.back_invalidations += 1;
+                invalidated = true;
             }
             if self.l2.flush_line(victim.line) {
                 self.stats.back_invalidations += 1;
+                invalidated = true;
+            }
+            if invalidated {
+                self.probe.emit(
+                    None,
+                    EventKind::BackInvalidate {
+                        line: victim.line.0,
+                    },
+                );
             }
         }
     }
@@ -169,6 +212,8 @@ impl MemoryHierarchy {
         self.l2.flush_line(line);
         self.l3.flush_line(line);
         self.stats.line_flushes += 1;
+        self.probe
+            .emit(None, EventKind::CacheFlush { line: line.0 });
     }
 
     /// Invalidates every line at every level (`wbinvd`).

@@ -1,5 +1,7 @@
 //! Access statistics kept by the hierarchy.
 
+use microscope_probe::metrics::{MetricSet, MetricSource};
+
 /// Hit/miss counters for one cache level.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LevelStats {
@@ -24,6 +26,15 @@ impl LevelStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counters accumulated since `since` (interval measurement around a
+    /// replay window; saturates rather than underflowing if misused).
+    pub fn delta(&self, since: &LevelStats) -> LevelStats {
+        LevelStats {
+            hits: self.hits.saturating_sub(since.hits),
+            misses: self.misses.saturating_sub(since.misses),
+        }
+    }
 }
 
 /// Statistics for the full hierarchy.
@@ -43,6 +54,39 @@ pub struct HierarchyStats {
     pub line_flushes: u64,
 }
 
+impl HierarchyStats {
+    /// Counters accumulated since `since` — the interval form used to
+    /// measure what a single replay window did to the caches.
+    pub fn delta(&self, since: &HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1.delta(&since.l1),
+            l2: self.l2.delta(&since.l2),
+            l3: self.l3.delta(&since.l3),
+            dram_accesses: self.dram_accesses.saturating_sub(since.dram_accesses),
+            back_invalidations: self
+                .back_invalidations
+                .saturating_sub(since.back_invalidations),
+            line_flushes: self.line_flushes.saturating_sub(since.line_flushes),
+        }
+    }
+}
+
+impl MetricSource for HierarchyStats {
+    fn collect_metrics(&self, prefix: &str, out: &mut MetricSet) {
+        for (name, level) in [("l1", self.l1), ("l2", self.l2), ("l3", self.l3)] {
+            out.set_count(format!("{prefix}.{name}.hits"), level.hits);
+            out.set_count(format!("{prefix}.{name}.misses"), level.misses);
+            out.set_gauge(format!("{prefix}.{name}.hit_rate"), level.hit_rate());
+        }
+        out.set_count(format!("{prefix}.dram_accesses"), self.dram_accesses);
+        out.set_count(
+            format!("{prefix}.back_invalidations"),
+            self.back_invalidations,
+        );
+        out.set_count(format!("{prefix}.line_flushes"), self.line_flushes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +102,58 @@ mod tests {
         let s = LevelStats { hits: 1, misses: 3 };
         assert_eq!(s.accesses(), 4);
         assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let before = HierarchyStats {
+            l1: LevelStats {
+                hits: 10,
+                misses: 2,
+            },
+            l2: LevelStats { hits: 1, misses: 1 },
+            l3: LevelStats { hits: 0, misses: 1 },
+            dram_accesses: 1,
+            back_invalidations: 0,
+            line_flushes: 4,
+        };
+        let mut after = before;
+        after.l1.hits += 5;
+        after.l3.misses += 2;
+        after.dram_accesses += 2;
+        after.line_flushes += 1;
+        let d = after.delta(&before);
+        assert_eq!(d.l1, LevelStats { hits: 5, misses: 0 });
+        assert_eq!(d.l2, LevelStats::default());
+        assert_eq!(d.l3, LevelStats { hits: 0, misses: 2 });
+        assert_eq!(d.dram_accesses, 2);
+        assert_eq!(d.back_invalidations, 0);
+        assert_eq!(d.line_flushes, 1);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let a = HierarchyStats::default();
+        let b = HierarchyStats {
+            l1: LevelStats { hits: 3, misses: 0 },
+            ..HierarchyStats::default()
+        };
+        assert_eq!(a.delta(&b).l1.hits, 0);
+    }
+
+    #[test]
+    fn metrics_use_dotted_names() {
+        let s = HierarchyStats {
+            l1: LevelStats { hits: 3, misses: 1 },
+            ..HierarchyStats::default()
+        };
+        let mut m = MetricSet::new();
+        s.collect_metrics("cache", &mut m);
+        assert_eq!(
+            m.get("cache.l1.hits"),
+            Some(microscope_probe::MetricValue::Count(3))
+        );
+        assert!(m.get("cache.l1.hit_rate").is_some());
+        assert!(m.get("cache.line_flushes").is_some());
     }
 }

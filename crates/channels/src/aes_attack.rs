@@ -40,6 +40,8 @@ pub struct AesAttackConfig {
     /// Cache-hierarchy override (e.g. a small L1 so earlier rounds age
     /// into L2/L3, reproducing Figure 11's multi-level Replay-0 mixture).
     pub hier: Option<HierarchyConfig>,
+    /// Cross-layer trace configuration (None = tracing off).
+    pub probe: Option<microscope_probe::RecorderConfig>,
 }
 
 impl Default for AesAttackConfig {
@@ -55,6 +57,7 @@ impl Default for AesAttackConfig {
             handler_cycles: 800,
             max_cycles: 80_000_000,
             hier: None,
+            probe: None,
         }
     }
 }
@@ -130,6 +133,9 @@ pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
     if let Some(h) = cfg.hier {
         b.hierarchy(h);
     }
+    if let Some(p) = cfg.probe {
+        b.probe(p);
+    }
     let aspace = b.new_aspace(1);
     let (prog, layout) = aes::build(
         b.phys(),
@@ -160,11 +166,7 @@ pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
     }
     let mut session = b.build();
     let report = session.run(cfg.max_cycles);
-    let out = aes::read_output(
-        &session.machine().hw().phys,
-        aspace,
-        &layout,
-    );
+    let out = aes::read_output(&session.machine().hw().phys, aspace, &layout);
     AesAttackOutcome {
         report,
         layout,

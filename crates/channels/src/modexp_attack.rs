@@ -87,7 +87,9 @@ pub fn run(cfg: &ModExpAttackConfig) -> ModExpAttackOutcome {
         cfg.bits,
     );
     b.victim(prog, aspace);
-    let id = b.module().provide_replay_handle(ContextId(0), layout.handle);
+    let id = b
+        .module()
+        .provide_replay_handle(ContextId(0), layout.handle);
     {
         let module = b.module();
         module.provide_pivot(id, layout.pivot);
@@ -103,9 +105,7 @@ pub fn run(cfg: &ModExpAttackConfig) -> ModExpAttackOutcome {
     }
     let mut session = b.build();
     let report = session.run(cfg.max_cycles);
-    let result = session
-        .machine()
-        .read_virt(ContextId(0), layout.result, 8);
+    let result = session.machine().read_virt(ContextId(0), layout.result, 8);
     let expected = modexp::modexp_reference(cfg.base, cfg.exponent, cfg.modulus, cfg.bits);
 
     // Vote: for each bit index, count observations where its 0-marker vs

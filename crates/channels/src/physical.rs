@@ -39,7 +39,9 @@ fn per_replay_div_occupancy(secret: bool, replays: u64) -> f64 {
     let victim_asp = b.new_aspace(1);
     let (prog, layout) = control_flow::build(b.phys(), victim_asp, VAddr(0x1000_0000), secret);
     b.victim(prog, victim_asp);
-    let id = b.module().provide_replay_handle(ContextId(0), layout.handle);
+    let id = b
+        .module()
+        .provide_replay_handle(ContextId(0), layout.handle);
     b.module().recipe_mut(id).replays_per_step = replays;
     b.module().recipe_mut(id).handler_cycles = 300;
     let mut session = b.build();

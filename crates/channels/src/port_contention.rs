@@ -22,6 +22,7 @@ use microscope_core::{denoise, AttackReport, MonitorBuffer, SessionBuilder};
 use microscope_cpu::{Assembler, Cond, Program};
 use microscope_mem::{AddressSpace, PhysMem, VAddr};
 use microscope_os::WalkTuning;
+use microscope_probe::RecorderConfig;
 use microscope_victims::control_flow;
 use microscope_victims::layout::DataLayout;
 
@@ -79,13 +80,7 @@ pub fn monitor_program(
         .branch(Cond::Lt, r::I, r::N, top)
         .halt();
 
-    (
-        asm.finish(),
-        MonitorBuffer {
-            base: buf,
-            samples,
-        },
-    )
+    (asm.finish(), MonitorBuffer { base: buf, samples })
 }
 
 /// Parameters of the Figure-10 attack.
@@ -108,6 +103,8 @@ pub struct PortContentionConfig {
     /// the handler, producing the rare large outliers the paper's Figure
     /// 10a shows (4 of 10,000 samples above the threshold).
     pub ambient_interrupt_retires: Option<u64>,
+    /// Cross-layer trace configuration (None = tracing off).
+    pub probe: Option<RecorderConfig>,
 }
 
 impl Default for PortContentionConfig {
@@ -119,6 +116,7 @@ impl Default for PortContentionConfig {
             walk: WalkTuning::Long,
             max_cycles: 80_000_000,
             ambient_interrupt_retires: Some(20_000),
+            probe: None,
         }
     }
 }
@@ -129,6 +127,9 @@ impl Default for PortContentionConfig {
 /// included).
 pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
     let mut b = SessionBuilder::new();
+    if let Some(p) = cfg.probe {
+        b.probe(p);
+    }
     let victim_asp = b.new_aspace(1);
     let monitor_asp = b.new_aspace(2);
     let (victim_prog, victim_layout) =
@@ -170,13 +171,21 @@ pub struct Fig10Result {
     pub over: (usize, usize),
     /// div/mul over-threshold ratio.
     pub ratio: f64,
+    /// The multiplication victim's full report (trace, metrics), when the
+    /// result came from [`figure10`] rather than bare [`analyze`].
+    pub mul_report: Option<AttackReport>,
+    /// The division victim's full report.
+    pub div_report: Option<AttackReport>,
 }
 
 /// Runs both victims and produces the Figure-10 comparison.
 pub fn figure10(cfg: &PortContentionConfig) -> Fig10Result {
     let mul = run_attack(false, cfg);
     let div = run_attack(true, cfg);
-    analyze(mul.monitor_samples, div.monitor_samples)
+    let mut r = analyze(mul.monitor_samples.clone(), div.monitor_samples.clone());
+    r.mul_report = Some(mul);
+    r.div_report = Some(div);
+    r
 }
 
 /// Pure analysis step, split out for testing.
@@ -195,6 +204,8 @@ pub fn analyze(mul_samples: Vec<u64>, div_samples: Vec<u64>) -> Fig10Result {
         ratio: over_div as f64 / over_mul.max(1) as f64,
         mul_samples,
         div_samples,
+        mul_report: None,
+        div_report: None,
     }
 }
 
@@ -215,7 +226,10 @@ mod tests {
         let mut phys = PhysMem::new();
         let asp = AddressSpace::new(&mut phys, 1);
         let (prog, buf) = monitor_program(&mut phys, asp, VAddr(0x2000_0000), 32);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, asp).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, asp)
+            .build();
         m.run(5_000_000);
         assert!(m.context(ContextId(0)).halted());
         let samples: Vec<u64> = (0..buf.samples)
@@ -253,6 +267,7 @@ mod tests {
             walk: WalkTuning::Long,
             max_cycles: 30_000_000,
             ambient_interrupt_retires: None,
+            probe: None,
         };
         let r = figure10(&cfg);
         assert!(

@@ -7,8 +7,8 @@
 //! victim displaced one of the attacker's lines, i.e. touched the target
 //! set.
 
-use microscope_cpu::HwParts;
 use microscope_cache::PAddr;
+use microscope_cpu::HwParts;
 
 /// One Prime+Probe context for a single target line.
 #[derive(Clone, Debug)]

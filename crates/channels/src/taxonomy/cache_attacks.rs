@@ -92,9 +92,7 @@ impl Supervisor for SteppingProber {
     fn on_interrupt(&mut self, hw: &mut HwParts, _ev: &InterruptEvent) -> SupervisorAction {
         let mut hot = Vec::new();
         for (i, va) in self.lines.iter().enumerate() {
-            if let Some(pa) =
-                microscope_os::translate_ignoring_present(hw, self.aspace, *va)
-            {
+            if let Some(pa) = microscope_os::translate_ignoring_present(hw, self.aspace, *va) {
                 if hw.hier.level_of(pa).is_some() {
                     hot.push(i);
                 }
@@ -141,12 +139,7 @@ pub fn cachezoom_experiment(trials: u32, seed: u64) -> Measurement {
         m.set_step_interrupt(ContextId(0), Some(every));
         m.run(10_000_000);
         // Reconstruct: concatenate hot lines across steps, dedup adjacent.
-        let seen: Vec<usize> = observations
-            .borrow()
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let seen: Vec<usize> = observations.borrow().iter().flatten().copied().collect();
         for s in &secrets {
             total += 1;
             if seen.contains(&(*s as usize)) {

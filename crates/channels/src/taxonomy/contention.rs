@@ -6,7 +6,7 @@
 use super::Measurement;
 use microscope_cache::{HierarchyConfig, LineAddr, MemoryHierarchy, PAddr};
 use microscope_cpu::{Assembler, BranchPredictor, Cond, PredictorConfig, Reg};
-use microscope_mem::{PteFlags, TlbConfig, TlbEntry, Tlb};
+use microscope_mem::{PteFlags, Tlb, TlbConfig, TlbEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

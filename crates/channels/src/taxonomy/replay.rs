@@ -58,7 +58,11 @@ fn one_shot_samples(secret: bool, jitter: u64) -> Vec<u64> {
     let mut insts: Vec<microscope_cpu::Inst> = padded.finish().iter().copied().collect();
     // Re-emit the victim body after the sled (branch targets shift by the
     // sled length).
-    insts.extend(victim_prog.iter().map(|i| shift_targets(*i, jitter as usize)));
+    insts.extend(
+        victim_prog
+            .iter()
+            .map(|i| shift_targets(*i, jitter as usize)),
+    );
     let victim_prog = microscope_cpu::Program::new(insts);
     let samples = 200;
     let (monitor_prog, buffer) =
@@ -76,18 +80,15 @@ fn one_shot_samples(secret: bool, jitter: u64) -> Vec<u64> {
 fn shift_targets(inst: microscope_cpu::Inst, by: usize) -> microscope_cpu::Inst {
     use microscope_cpu::Inst;
     match inst {
-        Inst::Branch {
-            cond,
-            a,
-            b,
-            target,
-        } => Inst::Branch {
+        Inst::Branch { cond, a, b, target } => Inst::Branch {
             cond,
             a,
             b,
             target: target + by,
         },
-        Inst::Jmp { target } => Inst::Jmp { target: target + by },
+        Inst::Jmp { target } => Inst::Jmp {
+            target: target + by,
+        },
         Inst::XBegin { abort_target } => Inst::XBegin {
             abort_target: abort_target + by,
         },
@@ -109,6 +110,7 @@ pub fn microscope_experiment(trials: u32, seed: u64) -> Measurement {
         // Same ambient noise the one-shot attacker faces, so the
         // comparison is apples to apples.
         ambient_interrupt_retires: Some(2_000),
+        probe: None,
     };
     // Calibrate on a known-mul victim, replayed the same way.
     let baseline = port_contention::run_attack(false, &cfg).monitor_samples;

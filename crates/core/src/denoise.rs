@@ -184,11 +184,7 @@ mod tests {
 
     #[test]
     fn by_step_groups_in_order() {
-        let observations = vec![
-            obs(1, 1, vec![]),
-            obs(0, 1, vec![]),
-            obs(1, 2, vec![]),
-        ];
+        let observations = vec![obs(1, 1, vec![]), obs(0, 1, vec![]), obs(1, 2, vec![])];
         let grouped = by_step(&observations);
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped[0].0, 0);

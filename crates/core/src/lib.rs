@@ -26,5 +26,5 @@ pub mod denoise;
 mod report;
 mod session;
 
-pub use report::AttackReport;
+pub use report::{AttackReport, ReplayAnalytics, ReportSnapshot};
 pub use session::{AttackSession, MonitorBuffer, SessionBuilder};

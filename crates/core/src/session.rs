@@ -2,14 +2,11 @@
 
 use crate::report::AttackReport;
 use microscope_cache::HierarchyConfig;
-use microscope_cpu::{
-    ContextId, CoreConfig, Machine, MachineBuilder, Program, RunExit,
-};
+use microscope_cpu::{ContextId, CoreConfig, Machine, MachineBuilder, Program, RunExit};
 use microscope_enclave::{Enclave, EnclaveRegion};
-use microscope_mem::{
-    AddressSpace, PhysMem, TlbHierarchyConfig, VAddr, WalkerConfig,
-};
+use microscope_mem::{AddressSpace, PhysMem, TlbHierarchyConfig, VAddr, WalkerConfig};
 use microscope_os::{Kernel, MicroScopeModule, Process, SharedHandle};
+use microscope_probe::{metrics::MetricSource, EventKind, MetricSet, Probe, RecorderConfig};
 
 /// Where a monitor program stores its timing samples, so the session can
 /// read them back after the run.
@@ -34,6 +31,7 @@ pub struct SessionBuilder {
     monitor: Option<(Program, AddressSpace, Option<MonitorBuffer>)>,
     module: MicroScopeModule,
     defer_arm: Option<u64>,
+    probe: Option<RecorderConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -56,6 +54,7 @@ impl SessionBuilder {
             monitor: None,
             module: MicroScopeModule::new(),
             defer_arm: None,
+            probe: None,
         }
     }
 
@@ -123,6 +122,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Overrides the cross-layer probe configuration. Without this, the
+    /// probe is enabled iff `CoreConfig::trace` is set.
+    pub fn probe(&mut self, cfg: RecorderConfig) -> &mut Self {
+        self.probe = Some(cfg);
+        self
+    }
+
     /// Defers attack arming until the victim has retired `retires`
     /// instructions (paper §4.1: the Replayer single-steps the victim close
     /// to the replay handle, pauses it, and only then sets up the attack).
@@ -140,12 +146,17 @@ impl SessionBuilder {
     pub fn build(self) -> AttackSession {
         let (victim_prog, victim_asp) = self.victim.expect("session needs a victim");
         let shared = self.module.shared();
+        let probe = Probe::new(self.probe.unwrap_or(RecorderConfig {
+            enabled: self.core.trace,
+            capacity: 200_000,
+        }));
         let mut mb = MachineBuilder::new()
             .core_config(self.core)
             .hierarchy(self.hier)
             .tlb(self.tlb)
             .walker(self.walker)
             .phys(self.phys)
+            .probe(probe.clone())
             .context_in(victim_prog.clone(), victim_asp);
         let mut monitor_ctx = None;
         let mut monitor_buf = None;
@@ -179,6 +190,7 @@ impl SessionBuilder {
             });
         }
         let mut kernel = Kernel::new(procs, module);
+        kernel.attach_probe(probe.clone());
         if self.defer_arm.is_some() {
             kernel.arm_on_interrupt(ContextId(0));
         }
@@ -188,6 +200,7 @@ impl SessionBuilder {
             shared,
             monitor_ctx,
             monitor_buf,
+            probe,
         }
     }
 }
@@ -198,6 +211,7 @@ pub struct AttackSession {
     shared: SharedHandle,
     monitor_ctx: Option<ContextId>,
     monitor_buf: Option<MonitorBuffer>,
+    probe: Probe,
 }
 
 impl AttackSession {
@@ -219,9 +233,16 @@ impl AttackSession {
         self.monitor_ctx
     }
 
+    /// The cross-layer probe shared by every layer of this session.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
     /// Runs for at most `max_cycles` and produces the report.
     pub fn run(&mut self, max_cycles: u64) -> AttackReport {
+        self.emit_session_start();
         let exit = self.machine.run(max_cycles);
+        self.emit_run_end(exit);
         self.report(exit)
     }
 
@@ -229,26 +250,58 @@ impl AttackSession {
     /// under replay), then reports.
     pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> AttackReport {
         let ctx = self.monitor_ctx.expect("no monitor installed");
+        self.emit_session_start();
         let done = self
             .machine
             .run_until(max_cycles, |m| m.context(ctx).halted());
-        self.report(if done && self.machine.all_halted() {
+        // The monitor finishing counts as completion even when the victim
+        // is still captive under replay.
+        let exit = if done {
             RunExit::AllHalted
-        } else if done {
-            RunExit::AllHalted // monitor finished; victim may still be captive
         } else {
             RunExit::MaxCycles
-        })
+        };
+        self.emit_run_end(exit);
+        self.report(exit)
+    }
+
+    fn emit_session_start(&self) {
+        self.probe.emit(
+            None,
+            EventKind::SessionStart {
+                contexts: self.machine.context_count() as u32,
+            },
+        );
+    }
+
+    fn emit_run_end(&self, exit: RunExit) {
+        self.probe.set_cycle(self.machine.cycle());
+        self.probe.emit(
+            None,
+            EventKind::RunEnd {
+                cycles: self.machine.cycle(),
+                all_halted: exit == RunExit::AllHalted,
+            },
+        );
     }
 
     /// Assembles a report from the current machine state.
     pub fn report(&self, exit: RunExit) -> AttackReport {
-        let monitor_samples = match (self.monitor_ctx, self.monitor_buf) {
+        let monitor_samples: Vec<u64> = match (self.monitor_ctx, self.monitor_buf) {
             (Some(ctx), Some(buf)) => (0..buf.samples)
                 .map(|i| self.machine.read_virt(ctx, buf.base.offset(i * 8), 8))
                 .collect(),
             _ => Vec::new(),
         };
+        for (index, &value) in monitor_samples.iter().enumerate() {
+            self.probe.emit(
+                self.monitor_ctx.map(|c| c.0 as u32),
+                EventKind::MonitorSample {
+                    index: index as u64,
+                    value,
+                },
+            );
+        }
         AttackReport {
             exit,
             cycles: self.machine.cycle(),
@@ -256,6 +309,35 @@ impl AttackSession {
             stats: self.machine.stats(),
             monitor_samples,
             div_stats: self.machine.ports().div_stats(),
+            trace: self.probe.events(),
+            dropped_events: self.probe.dropped(),
+            metrics: self.collect_metrics(),
         }
+    }
+
+    /// Collects the uniform metric registry from every layer.
+    pub fn collect_metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        let stats = self.machine.stats();
+        m.set_count("session.cycles", stats.cycles);
+        for (i, ctx) in stats.contexts.iter().enumerate() {
+            ctx.collect_metrics(&format!("cpu.ctx{i}"), &mut m);
+        }
+        let hw = self.machine.hw();
+        hw.hier.stats().collect_metrics("cache", &mut m);
+        let (l1d_hits, l1d_misses) = hw.tlb.l1d().stats();
+        m.set_count("mem.tlb.l1d.hits", l1d_hits);
+        m.set_count("mem.tlb.l1d.misses", l1d_misses);
+        let (l2_hits, l2_misses) = hw.tlb.l2().stats();
+        m.set_count("mem.tlb.l2.hits", l2_hits);
+        m.set_count("mem.tlb.l2.misses", l2_misses);
+        let (walks, walk_faults) = hw.walker.stats();
+        m.set_count("mem.walker.walks", walks);
+        m.set_count("mem.walker.faults", walk_faults);
+        let sh = self.shared.borrow();
+        m.set_count("os.replays", sh.replays.iter().sum());
+        m.set_count("os.observations", sh.observations.len() as u64);
+        m.set_count("probe.dropped", self.probe.dropped());
+        m
     }
 }

@@ -319,7 +319,9 @@ impl Inst {
                 b,
                 target: target + by,
             },
-            Inst::Jmp { target } => Inst::Jmp { target: target + by },
+            Inst::Jmp { target } => Inst::Jmp {
+                target: target + by,
+            },
             Inst::XBegin { abort_target } => Inst::XBegin {
                 abort_target: abort_target + by,
             },

@@ -17,6 +17,7 @@ use microscope_mem::{
     AddressSpace, PageFault, PageWalker, PhysMem, TlbEntry, TlbHierarchy, TlbHierarchyConfig,
     VAddr, WalkerConfig, PAGE_BYTES,
 };
+use microscope_probe::{Probe, RecorderConfig};
 
 /// SplitMix64: a tiny, high-quality mixing function for the DRBG model.
 fn splitmix64(mut z: u64) -> u64 {
@@ -53,6 +54,7 @@ pub struct MachineBuilder {
     phys: Option<PhysMem>,
     contexts: Vec<(Program, Option<AddressSpace>)>,
     supervisor: Option<Box<dyn Supervisor>>,
+    probe: Option<Probe>,
 }
 
 impl Default for MachineBuilder {
@@ -72,6 +74,7 @@ impl MachineBuilder {
             phys: None,
             contexts: Vec::new(),
             supervisor: None,
+            probe: None,
         }
     }
 
@@ -123,15 +126,31 @@ impl MachineBuilder {
         self
     }
 
+    /// Shares an existing cross-layer probe with the machine. Without this,
+    /// the machine creates a private probe, enabled iff `CoreConfig::trace`.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Builds the machine.
     ///
     /// # Panics
     ///
     /// Panics if no context was added.
     pub fn build(self) -> Machine {
-        assert!(!self.contexts.is_empty(), "machine needs at least one context");
+        assert!(
+            !self.contexts.is_empty(),
+            "machine needs at least one context"
+        );
         let mut phys = self.phys.unwrap_or_default();
-        let tracer = Tracer::new(self.core.trace);
+        let probe = self.probe.unwrap_or_else(|| {
+            Probe::new(RecorderConfig {
+                enabled: self.core.trace,
+                capacity: 200_000,
+            })
+        });
+        let tracer = Tracer::with_probe(probe.clone());
         let contexts: Vec<Context> = self
             .contexts
             .into_iter()
@@ -146,14 +165,20 @@ impl MachineBuilder {
                 )
             })
             .collect();
+        let mut hier = MemoryHierarchy::new(self.hier);
+        hier.attach_probe(probe.clone());
+        let mut tlb = TlbHierarchy::new(self.tlb);
+        tlb.attach_probe(probe.clone());
+        let mut walker = PageWalker::new(self.walker);
+        walker.attach_probe(probe);
         Machine {
             cfg: self.core,
             cycle: 0,
             hw: HwParts {
                 phys,
-                hier: MemoryHierarchy::new(self.hier),
-                tlb: TlbHierarchy::new(self.tlb),
-                walker: PageWalker::new(self.walker),
+                hier,
+                tlb,
+                walker,
                 predictor: BranchPredictor::new(self.core.predictor),
             },
             ports: Ports::new(),
@@ -164,6 +189,16 @@ impl MachineBuilder {
         }
     }
 }
+
+/// What the memory pipeline hands back for one load/store:
+/// `(value, latency, fault, mem_addr, fill_at_retire)`.
+type MemExecOutcome = (
+    u64,
+    u64,
+    Option<PageFault>,
+    Option<(VAddr, PAddr, u8)>,
+    Option<PAddr>,
+);
 
 /// The whole simulated machine.
 pub struct Machine {
@@ -234,6 +269,11 @@ impl Machine {
     /// The event trace.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The cross-layer probe shared by the core, caches, TLBs and walker.
+    pub fn probe(&self) -> &Probe {
+        self.tracer.probe()
     }
 
     /// Aggregated statistics.
@@ -326,6 +366,9 @@ impl Machine {
     pub fn step(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
+        // Ambient cycle stamp: events emitted by the memory system (which
+        // has no notion of the core clock) inherit the current cycle.
+        self.tracer.probe().set_cycle(now);
         self.ports.begin_cycle();
         self.hw.hier.bank_model().begin_cycle();
         self.retire_stage(now);
@@ -455,13 +498,11 @@ impl Machine {
                     self.contexts[ci].stats.txn_commits += 1;
                 }
             }
-            Inst::XAbort { code } => {
-                if self.contexts[ci].txn.is_some() {
-                    self.contexts[ci].rob.pop_front();
-                    self.contexts[ci].stats.retired += 1;
-                    self.txn_abort(ci, abort_code::EXPLICIT | (u64::from(code) << 8), now);
-                    return false;
-                }
+            Inst::XAbort { code } if self.contexts[ci].txn.is_some() => {
+                self.contexts[ci].rob.pop_front();
+                self.contexts[ci].stats.retired += 1;
+                self.txn_abort(ci, abort_code::EXPLICIT | (u64::from(code) << 8), now);
+                return false;
             }
             Inst::Halt => {
                 let ctx = &mut self.contexts[ci];
@@ -695,9 +736,7 @@ impl Machine {
                 if first_not_done[ci] == usize::MAX && e.state != RobState::Done {
                     first_not_done[ci] = idx;
                 }
-                if first_blocker[ci] == usize::MAX
-                    && e.blocks_younger
-                    && e.state != RobState::Done
+                if first_blocker[ci] == usize::MAX && e.blocks_younger && e.state != RobState::Done
                 {
                     first_blocker[ci] = idx;
                 }
@@ -717,8 +756,8 @@ impl Machine {
         let mut cursor = vec![0usize; n];
         while budget > 0 {
             let mut best: Option<(u64, usize)> = None;
-            for ci in 0..n {
-                if let Some(e) = self.contexts[ci].rob.get(cursor[ci]) {
+            for (ci, cur) in cursor.iter().enumerate() {
+                if let Some(e) = self.contexts[ci].rob.get(*cur) {
                     if best.map(|(seq, _)| e.seq < seq).unwrap_or(true) {
                         best = Some((e.seq, ci));
                     }
@@ -806,7 +845,14 @@ impl Machine {
         let (value, latency, fault, mem, fill_at_retire, store_value) = match inst {
             Inst::Imm { value, .. } => (value, base_lat, None, None, None, None),
             Inst::Mov { .. } => (src_vals[0], base_lat, None, None, None, None),
-            Inst::Alu { op, .. } => (op.apply(src_vals[0], src_vals[1]), base_lat, None, None, None, None),
+            Inst::Alu { op, .. } => (
+                op.apply(src_vals[0], src_vals[1]),
+                base_lat,
+                None,
+                None,
+                None,
+                None,
+            ),
             Inst::AluImm { op, imm, .. } => {
                 (op.apply(src_vals[0], imm), base_lat, None, None, None, None)
             }
@@ -818,7 +864,14 @@ impl Machine {
                 None,
                 None,
             ),
-            Inst::FOp { op, .. } => (op.apply(src_vals[0], src_vals[1]), base_lat, None, None, None, None),
+            Inst::FOp { op, .. } => (
+                op.apply(src_vals[0], src_vals[1]),
+                base_lat,
+                None,
+                None,
+                None,
+                None,
+            ),
             Inst::Branch { cond, .. } => (
                 u64::from(cond.eval(src_vals[0], src_vals[1])),
                 base_lat,
@@ -833,7 +886,9 @@ impl Machine {
                 // 2^rdrand_refill_log2 cycles; draws within one refill
                 // epoch return the same buffered value.
                 let epoch = now >> self.cfg.rdrand_refill_log2;
-                let v = splitmix64(self.contexts[ci].rdrand_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let v = splitmix64(
+                    self.contexts[ci].rdrand_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
                 (v, 20, None, None, None, None)
             }
             Inst::Load { offset, size, .. } => {
@@ -879,13 +934,7 @@ impl Machine {
         offset: i64,
         size: u8,
         store_value: Option<u64>,
-    ) -> (
-        u64,
-        u64,
-        Option<PageFault>,
-        Option<(VAddr, PAddr, u8)>,
-        Option<PAddr>,
-    ) {
+    ) -> MemExecOutcome {
         let is_store = store_value.is_some();
         let vaddr = VAddr(base_val.wrapping_add_signed(offset));
         let aspace = self.contexts[ci].aspace;
@@ -913,10 +962,13 @@ impl Machine {
             None => {
                 // Hardware page walk — speculative execution continues in
                 // its shadow; its duration is OS-tunable via cache state.
-                let walk =
-                    self.hw
-                        .walker
-                        .walk(&mut self.hw.phys, &mut self.hw.hier, &aspace, vaddr, is_store);
+                let walk = self.hw.walker.walk(
+                    &mut self.hw.phys,
+                    &mut self.hw.hier,
+                    &aspace,
+                    vaddr,
+                    is_store,
+                );
                 latency += walk.latency;
                 match walk.result {
                     Ok(t) => {
@@ -961,19 +1013,25 @@ impl Machine {
             .as_ref()
             .and_then(|t| t.forwarded_value(paddr, size))
             .or_else(|| {
-                ctx.rob
-                    .iter()
-                    .take(idx)
-                    .rev()
-                    .find_map(|o| match (o.inst, o.mem_addr, o.store_value) {
-                        (Inst::Store { .. }, Some((_, p, s)), Some(v)) if p == paddr && s == size => {
+                ctx.rob.iter().take(idx).rev().find_map(|o| {
+                    match (o.inst, o.mem_addr, o.store_value) {
+                        (Inst::Store { .. }, Some((_, p, s)), Some(v))
+                            if p == paddr && s == size =>
+                        {
                             Some(v)
                         }
                         _ => None,
-                    })
+                    }
+                })
             });
         let value = forwarded.unwrap_or_else(|| self.hw.phys.read_sized(paddr, size));
-        (value, latency, None, Some((vaddr, paddr, size)), fill_at_retire)
+        (
+            value,
+            latency,
+            None,
+            Some((vaddr, paddr, size)),
+            fill_at_retire,
+        )
     }
 
     // ------------------------------------------------------------------

@@ -4,30 +4,9 @@ use crate::isa::{Inst, Reg};
 use microscope_cache::PAddr;
 use microscope_mem::{PageFault, VAddr};
 
-/// Why a set of ROB entries was squashed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum SquashCause {
-    /// A page fault retired — the MicroScope replay mechanism.
-    PageFault,
-    /// A branch resolved against its prediction (§7.2 bounded replays).
-    Mispredict,
-    /// A transaction aborted (§7.1 TSX replay handle).
-    TxnAbort,
-    /// A timer interrupt was delivered (CacheZoom/SGX-Step stepping).
-    Interrupt,
-}
-
-impl std::fmt::Display for SquashCause {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            SquashCause::PageFault => "page-fault",
-            SquashCause::Mispredict => "mispredict",
-            SquashCause::TxnAbort => "txn-abort",
-            SquashCause::Interrupt => "interrupt",
-        };
-        f.write_str(s)
-    }
-}
+// `SquashCause` now lives in `microscope-probe` (so every layer can talk
+// about squashes on the shared event bus); re-exported here compatibly.
+pub use microscope_probe::SquashCause;
 
 /// Lifecycle of a ROB entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

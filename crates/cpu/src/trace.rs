@@ -1,8 +1,15 @@
 //! Event tracing, used to render the Figure-3 style attack timeline.
+//!
+//! Since the introduction of `microscope-probe`, the [`Tracer`] is a thin
+//! facade over a cross-layer [`Probe`]: every record becomes a probe event
+//! on the shared bus (where it interleaves with TLB, cache and OS events),
+//! and [`Tracer::events`] projects the cpu-layer slice back out in the
+//! legacy [`TraceEvent`] shape for existing consumers.
 
 use crate::context::ContextId;
 use crate::rob::SquashCause;
 use microscope_mem::VAddr;
+use microscope_probe::{EventKind, Probe, RecorderConfig};
 use std::fmt;
 
 /// What happened.
@@ -55,6 +62,58 @@ pub enum TraceKind {
     },
 }
 
+impl TraceKind {
+    fn to_event_kind(self) -> EventKind {
+        match self {
+            TraceKind::Fetch { seq, pc } => EventKind::Fetch { seq, pc: pc as u64 },
+            TraceKind::Issue { seq, pc } => EventKind::Issue { seq, pc: pc as u64 },
+            TraceKind::Complete { seq } => EventKind::Complete { seq },
+            TraceKind::Retire { seq, pc } => EventKind::Retire { seq, pc: pc as u64 },
+            TraceKind::Squash { cause, discarded } => EventKind::Squash {
+                cause,
+                discarded: discarded as u64,
+            },
+            TraceKind::Fault { vaddr, pc } => EventKind::FaultRaised {
+                vaddr: vaddr.0,
+                pc: pc as u64,
+            },
+            TraceKind::HandlerReturn { handler_cycles } => {
+                EventKind::HandlerReturn { handler_cycles }
+            }
+        }
+    }
+
+    fn from_event_kind(kind: EventKind) -> Option<TraceKind> {
+        Some(match kind {
+            EventKind::Fetch { seq, pc } => TraceKind::Fetch {
+                seq,
+                pc: pc as usize,
+            },
+            EventKind::Issue { seq, pc } => TraceKind::Issue {
+                seq,
+                pc: pc as usize,
+            },
+            EventKind::Complete { seq } => TraceKind::Complete { seq },
+            EventKind::Retire { seq, pc } => TraceKind::Retire {
+                seq,
+                pc: pc as usize,
+            },
+            EventKind::Squash { cause, discarded } => TraceKind::Squash {
+                cause,
+                discarded: discarded as usize,
+            },
+            EventKind::FaultRaised { vaddr, pc } => TraceKind::Fault {
+                vaddr: VAddr(vaddr),
+                pc: pc as usize,
+            },
+            EventKind::HandlerReturn { handler_cycles } => {
+                TraceKind::HandlerReturn { handler_cycles }
+            }
+            _ => return None,
+        })
+    }
+}
+
 /// One trace record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -85,44 +144,69 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// A bounded event recorder.
+/// The core's event recorder — a facade over the shared cross-layer probe.
 #[derive(Clone, Debug)]
 pub struct Tracer {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-    cap: usize,
+    probe: Probe,
 }
 
 impl Tracer {
-    /// Creates a tracer; when disabled, recording is a no-op.
+    /// Creates a tracer with its own private recorder; when disabled,
+    /// recording is a no-op.
     pub fn new(enabled: bool) -> Self {
         Tracer {
-            events: Vec::new(),
-            enabled,
-            cap: 200_000,
+            probe: Probe::new(RecorderConfig {
+                enabled,
+                capacity: 200_000,
+            }),
         }
+    }
+
+    /// Creates a tracer emitting onto an existing (shared) probe.
+    pub fn with_probe(probe: Probe) -> Self {
+        Tracer { probe }
     }
 
     /// Whether recording is active.
     pub fn enabled(&self) -> bool {
-        self.enabled
+        self.probe.enabled()
     }
 
-    /// Records an event (drops silently once the cap is reached).
+    /// The underlying cross-layer probe.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Records an event. Once the ring is full the oldest event is
+    /// overwritten and counted in [`Tracer::dropped`] — never silently.
     pub fn record(&mut self, cycle: u64, ctx: ContextId, kind: TraceKind) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(TraceEvent { cycle, ctx, kind });
-        }
+        self.probe
+            .emit_at(cycle, Some(ctx.0 as u32), kind.to_event_kind());
     }
 
-    /// The recorded events.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// How many events have been overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.probe.dropped()
+    }
+
+    /// The recorded cpu-layer events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.probe
+            .events()
+            .into_iter()
+            .filter_map(|e| {
+                TraceKind::from_event_kind(e.kind).map(|kind| TraceEvent {
+                    cycle: e.cycle,
+                    ctx: ContextId(e.ctx.unwrap_or(0) as usize),
+                    kind,
+                })
+            })
+            .collect()
     }
 
     /// Clears the recording.
     pub fn clear(&mut self) {
-        self.events.clear();
+        self.probe.clear();
     }
 }
 
@@ -135,6 +219,7 @@ mod tests {
         let mut t = Tracer::new(false);
         t.record(1, ContextId(0), TraceKind::Complete { seq: 1 });
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
@@ -150,5 +235,43 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("page-fault"));
         assert!(s.contains("17"));
+    }
+
+    #[test]
+    fn events_round_trip_through_the_probe() {
+        let mut t = Tracer::new(true);
+        t.record(
+            7,
+            ContextId(1),
+            TraceKind::Fault {
+                vaddr: VAddr(0x1234),
+                pc: 9,
+            },
+        );
+        t.record(8, ContextId(0), TraceKind::Complete { seq: 3 });
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].cycle, 7);
+        assert_eq!(evs[0].ctx, ContextId(1));
+        assert_eq!(
+            evs[0].kind,
+            TraceKind::Fault {
+                vaddr: VAddr(0x1234),
+                pc: 9
+            }
+        );
+        assert_eq!(evs[1].kind, TraceKind::Complete { seq: 3 });
+    }
+
+    #[test]
+    fn full_ring_counts_drops_instead_of_losing_them_silently() {
+        let mut t = Tracer::with_probe(Probe::new(RecorderConfig::with_capacity(8)));
+        for i in 0..20 {
+            t.record(i, ContextId(0), TraceKind::Complete { seq: i });
+        }
+        assert_eq!(t.events().len(), 8);
+        assert_eq!(t.dropped(), 12);
+        // The *newest* events survive (the interesting end of an attack).
+        assert_eq!(t.events().last().unwrap().cycle, 19);
     }
 }

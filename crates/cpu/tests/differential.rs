@@ -30,9 +30,7 @@ fn interpret(prog: &Program, init_mem: &HashMap<u64, u64>) -> ([u64; 32], HashMa
             Inst::Alu { op, dst, a, b } => {
                 regs[dst.index()] = op.apply(regs[a.index()], regs[b.index()])
             }
-            Inst::AluImm { op, dst, a, imm } => {
-                regs[dst.index()] = op.apply(regs[a.index()], imm)
-            }
+            Inst::AluImm { op, dst, a, imm } => regs[dst.index()] = op.apply(regs[a.index()], imm),
             Inst::Mul { dst, a, b } => {
                 regs[dst.index()] = regs[a.index()].wrapping_mul(regs[b.index()])
             }
@@ -74,7 +72,7 @@ fn interpret(prog: &Program, init_mem: &HashMap<u64, u64>) -> ([u64; 32], HashMa
             }
             Inst::Jmp { target } => pc = target,
             Inst::ReadTimer { dst, .. } => regs[dst.index()] = 0, // not compared
-            Inst::RdRand { dst } => regs[dst.index()] = 0,       // not compared
+            Inst::RdRand { dst } => regs[dst.index()] = 0,        // not compared
             Inst::Fence | Inst::Nop => {}
             Inst::XBegin { .. } | Inst::XEnd | Inst::XAbort { .. } => {}
             Inst::Halt => break,
@@ -116,10 +114,8 @@ fn arb_op() -> impl Strategy<Value = RandOp> {
 }
 
 fn arb_block() -> impl Strategy<Value = Block> {
-    (prop::collection::vec(arb_op(), 1..10), 0u8..4).prop_map(|(ops, loop_count)| Block {
-        ops,
-        loop_count,
-    })
+    (prop::collection::vec(arb_op(), 1..10), 0u8..4)
+        .prop_map(|(ops, loop_count)| Block { ops, loop_count })
 }
 
 fn alu(sel: u8) -> AluOp {

@@ -694,7 +694,11 @@ fn rob_capacity_bounds_the_speculation_window() {
         asp.set_present(&mut phys, handle, false);
         let n_probes = 16u64;
         let probe_paddrs: Vec<_> = (0..n_probes)
-            .map(|i| asp.translate(&phys, probes.offset(i * 64), false).unwrap().paddr)
+            .map(|i| {
+                asp.translate(&phys, probes.offset(i * 64), false)
+                    .unwrap()
+                    .paddr
+            })
             .collect();
 
         let mut asm = Assembler::new();

@@ -159,7 +159,11 @@ pub fn evaluate() -> DefenseOutcome {
     DefenseOutcome {
         name: "Déjà Vu reference clock",
         leak_undefended: replays,
-        leak_defended: if adaptive.detected { 0 } else { adaptive.replays },
+        leak_defended: if adaptive.detected {
+            0
+        } else {
+            adaptive.replays
+        },
         effective: naive.detected && adaptive.detected,
         caveat: "detects a naive replayer, but the OS can starve the clock \
                  thread while replaying; masked by ordinary page-fault time",

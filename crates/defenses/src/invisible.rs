@@ -79,6 +79,7 @@ pub fn evaluate_port_channel() -> DefenseOutcome {
             walk: WalkTuning::Long,
             max_cycles: 30_000_000,
             ambient_interrupt_retires: None,
+            probe: None,
         };
         // run_attack builds its own session; replicate with the config knob
         // by running the mul/div pair and counting div-side exceedances.
@@ -105,12 +106,8 @@ fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig)
     });
     let victim_asp = b.new_aspace(1);
     let monitor_asp = b.new_aspace(2);
-    let (victim_prog, victim_layout) = microscope_victims::control_flow::build(
-        b.phys(),
-        victim_asp,
-        VAddr(0x1000_0000),
-        secret,
-    );
+    let (victim_prog, victim_layout) =
+        microscope_victims::control_flow::build(b.phys(), victim_asp, VAddr(0x1000_0000), secret);
     let (monitor_prog, buffer) =
         port_contention::monitor_program(b.phys(), monitor_asp, VAddr(0x2000_0000), cfg.samples);
     b.victim(victim_prog, victim_asp);
@@ -125,7 +122,9 @@ fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig)
         recipe.handler_cycles = cfg.handler_cycles;
     }
     let mut session = b.build();
-    session.run_until_monitor_done(cfg.max_cycles).monitor_samples
+    session
+        .run_until_monitor_done(cfg.max_cycles)
+        .monitor_samples
 }
 
 #[cfg(test)]

@@ -41,7 +41,9 @@ pub fn make_oblivious(body: &Program, decoy_pages: &[VAddr]) -> Program {
                 b,
                 target: remap(target),
             },
-            Inst::Jmp { target } => Inst::Jmp { target: remap(target) },
+            Inst::Jmp { target } => Inst::Jmp {
+                target: remap(target),
+            },
             Inst::XBegin { abort_target } => Inst::XBegin {
                 abort_target: remap(abort_target),
             },
@@ -134,12 +136,8 @@ mod tests {
         // The defensive property: both decoys accessed regardless of input.
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
-        let (prog, _) = microscope_victims::control_flow::build(
-            &mut phys,
-            aspace,
-            VAddr(0x1000_0000),
-            false,
-        );
+        let (prog, _) =
+            microscope_victims::control_flow::build(&mut phys, aspace, VAddr(0x1000_0000), false);
         let decoys = [VAddr(0x7000_0000), VAddr(0x7000_2000)];
         for d in decoys {
             aspace.alloc_map(&mut phys, d, 4096, PteFlags::user_data());

@@ -185,10 +185,7 @@ mod tests {
         let r = attack_protected_victim(n);
         // Every abort cycle speculatively executed the transmit load once;
         // the paper counts N−1 *re*-plays (plus the initial try).
-        assert!(
-            r.transmit_executions >= n - 1,
-            "leak must be ~N-1: {r:?}"
-        );
+        assert!(r.transmit_executions >= n - 1, "leak must be ~N-1: {r:?}");
         assert!(r.transmit_executions <= n + 1, "{r:?}");
     }
 

@@ -39,8 +39,8 @@
 
 use microscope_cpu::Program;
 use microscope_mem::{PageFault, VAddr, PAGE_BYTES};
-use std::collections::HashSet;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 

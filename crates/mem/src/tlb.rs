@@ -217,6 +217,7 @@ impl Default for TlbHierarchyConfig {
 pub struct TlbHierarchy {
     l1d: Tlb,
     l2: Tlb,
+    probe: microscope_probe::Probe,
 }
 
 /// Result of a TLB hierarchy lookup.
@@ -234,11 +235,30 @@ impl TlbHierarchy {
         TlbHierarchy {
             l1d: Tlb::new(cfg.l1d),
             l2: Tlb::new(cfg.l2),
+            probe: microscope_probe::Probe::disabled(),
         }
+    }
+
+    /// Connects the TLBs to a shared event bus.
+    pub fn attach_probe(&mut self, probe: microscope_probe::Probe) {
+        self.probe = probe;
     }
 
     /// Looks up a data translation; an L2 hit refills L1.
     pub fn lookup(&mut self, vpn: u64, pcid: u16) -> TlbLookup {
+        let result = self.lookup_inner(vpn, pcid);
+        self.probe.emit(
+            None,
+            microscope_probe::EventKind::TlbLookup {
+                vpn,
+                hit: result.entry.is_some(),
+                latency: result.latency,
+            },
+        );
+        result
+    }
+
+    fn lookup_inner(&mut self, vpn: u64, pcid: u16) -> TlbLookup {
         let mut latency = self.l1d.config().hit_latency;
         if let Some(e) = self.l1d.lookup(vpn, pcid) {
             return TlbLookup {

@@ -19,6 +19,7 @@ use crate::phys::PhysMem;
 use crate::pte::{PtLevel, Pte};
 use crate::vaddr::VAddr;
 use microscope_cache::{MemoryHierarchy, PAddr, PageWalkCache, PwcConfig, PAGE_BYTES};
+use microscope_probe::{EventKind, Probe};
 
 /// Configuration of the hardware walker.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +64,7 @@ pub struct PageWalker {
     pwc: PageWalkCache,
     walks: u64,
     faults: u64,
+    probe: Probe,
 }
 
 impl PageWalker {
@@ -73,7 +75,13 @@ impl PageWalker {
             cfg,
             walks: 0,
             faults: 0,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Connects the walker to a shared event bus.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The configuration in use.
@@ -112,23 +120,57 @@ impl PageWalker {
         is_write: bool,
     ) -> WalkOutcome {
         self.walks += 1;
+        self.probe
+            .emit(None, EventKind::WalkStart { vaddr: vaddr.0 });
+        let out = self.walk_inner(phys, hier, aspace, vaddr, is_write);
+        self.probe.emit(
+            None,
+            EventKind::WalkEnd {
+                vaddr: vaddr.0,
+                latency: out.latency,
+                faulted: out.result.is_err(),
+            },
+        );
+        out
+    }
+
+    fn walk_inner(
+        &mut self,
+        phys: &mut PhysMem,
+        hier: &mut MemoryHierarchy,
+        aspace: &AddressSpace,
+        vaddr: VAddr,
+        is_write: bool,
+    ) -> WalkOutcome {
         let mut latency = 0;
-        let mut levels_accessed = 0;
         let mut pwc_hits = 0;
         let mut table = aspace.cr3();
-        for level in PtLevel::ALL {
+        for (step, level) in PtLevel::ALL.into_iter().enumerate() {
             let entry_pa = table.offset(vaddr.table_index(level) * 8);
-            levels_accessed += 1;
             let upper = level != PtLevel::Pte;
+            let step_latency;
+            let pwc_hit;
             if upper && self.cfg.pwc_enabled && self.pwc.lookup(entry_pa) {
-                latency += self.pwc.config().hit_latency;
+                step_latency = self.pwc.config().hit_latency;
+                pwc_hit = true;
                 pwc_hits += 1;
             } else {
-                latency += hier.access(entry_pa).latency;
+                step_latency = hier.access(entry_pa).latency;
+                pwc_hit = false;
                 if upper && self.cfg.pwc_enabled {
                     self.pwc.insert(entry_pa);
                 }
             }
+            latency += step_latency;
+            self.probe.emit(
+                None,
+                EventKind::WalkStep {
+                    level: step as u8,
+                    pwc_hit,
+                    latency: step_latency,
+                },
+            );
+            let levels_accessed = step + 1;
             let pte = Pte(phys.read_u64(entry_pa));
             if !pte.present() || (upper && pte.ppn() == 0) {
                 self.faults += 1;
@@ -182,12 +224,7 @@ impl PageWalker {
     /// Physical line addresses of the page-table entries a walk for `vaddr`
     /// would touch — the lines the Replayer flushes. (Delegates to the
     /// software walk; exposed here for symmetry with hardware behaviour.)
-    pub fn entry_lines(
-        &self,
-        phys: &PhysMem,
-        aspace: &AddressSpace,
-        vaddr: VAddr,
-    ) -> Vec<PAddr> {
+    pub fn entry_lines(&self, phys: &PhysMem, aspace: &AddressSpace, vaddr: VAddr) -> Vec<PAddr> {
         aspace
             .entry_paddrs(phys, vaddr)
             .into_iter()

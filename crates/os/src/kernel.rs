@@ -37,6 +37,7 @@ pub struct Kernel {
     /// Replayer single-steps the victim to the neighbourhood of the replay
     /// handle, pauses it, and only then sets up the attack.
     arm_on_interrupt: Option<ContextId>,
+    probe: microscope_probe::Probe,
 }
 
 impl Kernel {
@@ -50,7 +51,14 @@ impl Kernel {
             honest_faults: 0,
             interrupts: 0,
             arm_on_interrupt: None,
+            probe: microscope_probe::Probe::disabled(),
         }
+    }
+
+    /// Connects the kernel (and its attack module) to a shared event bus.
+    pub fn attach_probe(&mut self, probe: microscope_probe::Probe) {
+        self.module.attach_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// A kernel with no attack module installed (a completely honest OS).
@@ -107,7 +115,16 @@ impl Supervisor for Kernel {
         }
         // Honest demand paging: map or re-present the page.
         self.honest_faults += 1;
-        if aspace.set_present(&mut hw.phys, fault.vaddr, true).is_none() {
+        self.probe.emit(
+            Some(ev.ctx.0 as u32),
+            microscope_probe::EventKind::HonestFault {
+                vaddr: fault.vaddr.0,
+            },
+        );
+        if aspace
+            .set_present(&mut hw.phys, fault.vaddr, true)
+            .is_none()
+        {
             let frame = hw.phys.alloc_frame();
             aspace.map(&mut hw.phys, fault.vaddr, frame, PteFlags::user_data());
         }
@@ -137,8 +154,8 @@ mod tests {
     use microscope_cache::{HierarchyConfig, MemoryHierarchy};
     use microscope_cpu::{BranchPredictor, PredictorConfig};
     use microscope_mem::{
-        PageFault, PageFaultKind, PageWalker, PhysMem, PtLevel, TlbHierarchy,
-        TlbHierarchyConfig, VAddr, WalkerConfig,
+        PageFault, PageFaultKind, PageWalker, PhysMem, PtLevel, TlbHierarchy, TlbHierarchyConfig,
+        VAddr, WalkerConfig,
     };
 
     fn hw() -> (HwParts, AddressSpace) {
@@ -217,7 +234,7 @@ mod tests {
         assert_eq!(k.honest_faults(), 0, "the pager never saw these faults");
         let sh = shared.borrow();
         assert_eq!(sh.replays[0], 3);
-        assert_eq!(sh.finished[0], true);
+        assert!(sh.finished[0]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::recipe::{AttackRecipe, RecipeId, WalkTuning};
 use crate::shared::{new_shared, ModuleShared, Observation, SharedHandle};
 use microscope_cpu::{FaultEvent, HwParts, SupervisorAction};
 use microscope_mem::{AddressSpace, VAddr};
+use microscope_probe::{EventKind, Probe};
 
 /// Which address a recipe is currently replaying on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,7 @@ impl RecipeState {
 pub struct MicroScopeModule {
     recipes: Vec<(AttackRecipe, RecipeState)>,
     shared: SharedHandle,
+    probe: Probe,
 }
 
 impl Default for MicroScopeModule {
@@ -60,7 +62,15 @@ impl MicroScopeModule {
         MicroScopeModule {
             recipes: Vec::new(),
             shared: new_shared(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Connects the module to a shared event bus. Also makes the module
+    /// keep the ambient *replay index* up to date, so events from every
+    /// layer are stamped with the replay cycle they occurred in.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// A handle to the observation state, kept by the host-side attacker.
@@ -133,6 +143,10 @@ impl MicroScopeModule {
     pub fn initiate_page_fault(&mut self, hw: &mut HwParts, aspace: AddressSpace, addr: VAddr) {
         aspace.set_present(&mut hw.phys, addr, false);
         flush_translation(hw, aspace, addr);
+        self.probe
+            .emit(None, EventKind::PresentCleared { vaddr: addr.0 });
+        self.probe
+            .emit(None, EventKind::TlbShootdown { vaddr: addr.0 });
     }
 
     /// Mutable access to an installed recipe (attack-exploration tweaks).
@@ -148,13 +162,32 @@ impl MicroScopeModule {
     /// Arms every installed recipe: faults its replay handle and applies
     /// walk tuning and priming. Call once before the victim resumes.
     pub fn arm(&mut self, hw: &mut HwParts, aspace: AddressSpace) {
-        for (recipe, state) in &mut self.recipes {
+        for (idx, (recipe, state)) in self.recipes.iter_mut().enumerate() {
             if state.finished || state.armed {
                 continue;
             }
             state.armed = true;
+            self.probe.emit(
+                None,
+                EventKind::RecipeArmed {
+                    recipe: idx as u32,
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
             aspace.set_present(&mut hw.phys, recipe.replay_handle, false);
             flush_translation(hw, aspace, recipe.replay_handle);
+            self.probe.emit(
+                None,
+                EventKind::PresentCleared {
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
+            self.probe.emit(
+                None,
+                EventKind::TlbShootdown {
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
             apply_tuning(hw, aspace, recipe.replay_handle, recipe.walk);
             // NOTE: no priming here — Figure 11's "Replay 0" is deliberately
             // unprimed ("Before the first replay, the Replayer does not
@@ -176,10 +209,9 @@ impl MicroScopeModule {
             if state.finished || !state.armed || recipe.victim != ev.ctx {
                 continue;
             }
-            let on_handle =
-                state.phase == Phase::Handle && vpn == recipe.replay_handle.vpn();
-            let on_pivot = state.phase == Phase::Pivot
-                && recipe.pivot.map(|p| p.vpn()) == Some(vpn);
+            let on_handle = state.phase == Phase::Handle && vpn == recipe.replay_handle.vpn();
+            let on_pivot =
+                state.phase == Phase::Pivot && recipe.pivot.map(|p| p.vpn()) == Some(vpn);
             if on_handle {
                 return Some(self.replay_step(idx, hw, aspace, ev));
             }
@@ -200,15 +232,42 @@ impl MicroScopeModule {
     ) -> SupervisorAction {
         let (recipe, state) = &mut self.recipes[idx];
         state.replays_this_step += 1;
+        let total_replays;
         {
             let mut sh = self.shared.borrow_mut();
             sh.replays[idx] += 1;
+            total_replays = sh.replays[idx];
             sh.fault_log.push((ev.cycle, ev.fault.vaddr));
         }
+        self.probe.emit(
+            Some(ev.ctx.0 as u32),
+            EventKind::HandlerEnter {
+                vaddr: ev.fault.vaddr.0,
+            },
+        );
+        // Advance the ambient replay index: everything any layer emits from
+        // here on belongs to this replay cycle.
+        self.probe.set_replay(total_replays);
+        self.probe.emit(
+            Some(ev.ctx.0 as u32),
+            EventKind::Replay {
+                recipe: idx as u32,
+                replay: state.replays_this_step,
+            },
+        );
         // Measure: probe the monitored lines (cache-attack configuration).
         let mut stable = false;
         if !recipe.monitor_addrs.is_empty() {
             let probes = probe_latencies(hw, aspace, &recipe.monitor_addrs);
+            for &(addr, latency) in &probes {
+                self.probe.emit(
+                    Some(ev.ctx.0 as u32),
+                    EventKind::MonitorProbe {
+                        vaddr: addr.0,
+                        latency,
+                    },
+                );
+            }
             let obs = Observation {
                 recipe: RecipeId(idx),
                 step: state.steps_done,
@@ -233,6 +292,12 @@ impl MicroScopeModule {
             // Release the handle so the victim makes forward progress.
             aspace.set_present(&mut hw.phys, recipe.replay_handle, true);
             hw.tlb.invlpg(recipe.replay_handle, aspace.pcid());
+            self.probe.emit(
+                None,
+                EventKind::PresentSet {
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
             state.replays_this_step = 0;
             state.last_hits = None;
             state.stable_streak = 0;
@@ -242,6 +307,10 @@ impl MicroScopeModule {
                     // the pivot step decides whether the attack continues.
                     aspace.set_present(&mut hw.phys, pivot, false);
                     flush_translation(hw, aspace, pivot);
+                    self.probe
+                        .emit(None, EventKind::PresentCleared { vaddr: pivot.0 });
+                    self.probe
+                        .emit(None, EventKind::TlbShootdown { vaddr: pivot.0 });
                     state.phase = Phase::Pivot;
                 }
                 None => {
@@ -249,6 +318,13 @@ impl MicroScopeModule {
                     let mut sh = self.shared.borrow_mut();
                     sh.finished[idx] = true;
                     sh.steps[idx] = state.steps_done + 1;
+                    self.probe.emit(
+                        None,
+                        EventKind::RecipeFinished {
+                            recipe: idx as u32,
+                            replays: sh.replays[idx],
+                        },
+                    );
                 }
             }
         } else {
@@ -275,13 +351,35 @@ impl MicroScopeModule {
             let mut sh = self.shared.borrow_mut();
             sh.fault_log.push((ev.cycle, ev.fault.vaddr));
         }
+        self.probe.emit(
+            Some(ev.ctx.0 as u32),
+            EventKind::HandlerEnter {
+                vaddr: ev.fault.vaddr.0,
+            },
+        );
         aspace.set_present(&mut hw.phys, pivot, true);
         hw.tlb.invlpg(pivot, aspace.pcid());
+        self.probe
+            .emit(None, EventKind::PresentSet { vaddr: pivot.0 });
         state.steps_done += 1;
         self.shared.borrow_mut().steps[idx] = state.steps_done;
+        self.probe.emit(
+            Some(ev.ctx.0 as u32),
+            EventKind::PivotStep {
+                recipe: idx as u32,
+                step: state.steps_done,
+            },
+        );
         if state.steps_done >= recipe.max_steps {
             state.finished = true;
             self.shared.borrow_mut().finished[idx] = true;
+            self.probe.emit(
+                None,
+                EventKind::RecipeFinished {
+                    recipe: idx as u32,
+                    replays: self.shared.borrow().replays[idx],
+                },
+            );
         } else {
             // Re-arm the handle for the next iteration (§4.2.2: "clears the
             // present bit for the replay handle … when the Victim resumes
@@ -289,6 +387,18 @@ impl MicroScopeModule {
             // iteration and proceeds to the next").
             aspace.set_present(&mut hw.phys, recipe.replay_handle, false);
             flush_translation(hw, aspace, recipe.replay_handle);
+            self.probe.emit(
+                None,
+                EventKind::PresentCleared {
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
+            self.probe.emit(
+                None,
+                EventKind::TlbShootdown {
+                    vaddr: recipe.replay_handle.0,
+                },
+            );
             apply_tuning(hw, aspace, recipe.replay_handle, recipe.walk);
             if recipe.prime_between_replays {
                 prime_lines(hw, aspace, &recipe.monitor_addrs);

@@ -1,9 +1,9 @@
 //! The attack operations of paper §5.2.2, expressed over the privileged
 //! hardware view.
 
+use microscope_cache::PAddr;
 use microscope_cpu::HwParts;
 use microscope_mem::{AddressSpace, PtLevel, VAddr, PAGE_BYTES};
-use microscope_cache::PAddr;
 
 /// Translates `vaddr` through `aspace` *ignoring the Present bit* of the
 /// leaf PTE. The OS can always do this (it owns the tables), and needs it to
@@ -74,8 +74,7 @@ pub fn probe_latencies(
     addrs
         .iter()
         .filter_map(|va| {
-            translate_ignoring_present(hw, aspace, *va)
-                .map(|pa| (*va, hw.hier.access(pa).latency))
+            translate_ignoring_present(hw, aspace, *va).map(|pa| (*va, hw.hier.access(pa).latency))
         })
         .collect()
 }
@@ -145,18 +144,23 @@ mod tests {
             assert_eq!(hw.hier.level_of(pa), None);
         }
         // The next walk is long again.
-        let replay = hw.walker.walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
+        let replay = hw
+            .walker
+            .walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
         assert!(replay.latency > 4 * hw.hier.config().dram.row_hit_latency);
     }
 
     #[test]
     fn walk_length_controls_walk_latency_monotonically() {
         let (mut hw, aspace, va) = hw_with_mapping();
-        hw.walker.walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
+        hw.walker
+            .walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
         let mut lats = Vec::new();
         for length in 1..=4 {
             set_walk_length(&mut hw, aspace, va, length);
-            let out = hw.walker.walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
+            let out = hw
+                .walker
+                .walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
             lats.push(out.latency);
         }
         for w in lats.windows(2) {

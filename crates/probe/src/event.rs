@@ -1,0 +1,555 @@
+//! The cross-layer event taxonomy.
+//!
+//! Every simulator layer reports what it did through one of these
+//! variants; the probe stamps each record with the simulated cycle, the
+//! originating hardware context (where meaningful) and the current replay
+//! index, so a whole attack can be read as a single ordered stream.
+
+use std::fmt;
+
+/// Which layer of the simulator emitted an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Out-of-order core: fetch/issue/complete/retire/squash/fault.
+    Cpu,
+    /// MMU: TLB lookups, hardware page walks, PWC.
+    Mem,
+    /// Cache hierarchy: per-level hits/misses, flushes, back-invalidations.
+    Cache,
+    /// OS / MicroScope kernel module: arming, present-bit flips, handler
+    /// trampoline, replay and pivot bookkeeping.
+    Os,
+    /// Attack session orchestration: run boundaries, monitor samples.
+    Session,
+}
+
+impl Layer {
+    /// Stable lowercase name (used by the exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Cpu => "cpu",
+            Layer::Mem => "mem",
+            Layer::Cache => "cache",
+            Layer::Os => "os",
+            Layer::Session => "session",
+        }
+    }
+
+    /// All layers, in display order.
+    pub const ALL: [Layer; 5] = [
+        Layer::Cpu,
+        Layer::Mem,
+        Layer::Cache,
+        Layer::Os,
+        Layer::Session,
+    ];
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why the pipeline was squashed.
+///
+/// Lives here (rather than in `microscope-cpu`, which re-exports it) so
+/// non-cpu layers can talk about squashes without depending on the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SquashCause {
+    /// A page fault retired — the MicroScope replay mechanism.
+    PageFault,
+    /// A branch resolved against its prediction (§7.2 bounded replays).
+    Mispredict,
+    /// A transaction aborted (§7.1 TSX replay handle).
+    TxnAbort,
+    /// A timer interrupt was delivered (CacheZoom/SGX-Step stepping).
+    Interrupt,
+}
+
+impl fmt::Display for SquashCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SquashCause::PageFault => "page-fault",
+            SquashCause::Mispredict => "mispredict",
+            SquashCause::TxnAbort => "txn-abort",
+            SquashCause::Interrupt => "interrupt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which level of the memory system served an access.
+///
+/// Mirrors the cache crate's `Level` without depending on it (probe sits
+/// below every other crate in the dependency graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheTier {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Shared L3.
+    L3,
+    /// DRAM.
+    Memory,
+}
+
+impl CacheTier {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheTier::L1 => "l1",
+            CacheTier::L2 => "l2",
+            CacheTier::L3 => "l3",
+            CacheTier::Memory => "dram",
+        }
+    }
+}
+
+impl fmt::Display for CacheTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened. Field types are primitive on purpose: the probe crate
+/// sits below every other crate, so addresses arrive as raw `u64`s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    // ---- cpu ----
+    /// An instruction entered the ROB.
+    Fetch {
+        /// Global sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// An instruction began executing on a port.
+    Issue {
+        /// Global sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// An instruction's result materialized.
+    Complete {
+        /// Global sequence number.
+        seq: u64,
+    },
+    /// An instruction retired architecturally.
+    Retire {
+        /// Global sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// The pipeline was squashed.
+    Squash {
+        /// Why.
+        cause: SquashCause,
+        /// How many in-flight instructions were discarded — the length of
+        /// the speculative window for page-fault squashes.
+        discarded: u64,
+    },
+    /// A precise fault was raised at the ROB head.
+    FaultRaised {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Faulting instruction's pc.
+        pc: u64,
+    },
+    /// The OS fault/interrupt handler returned to the victim.
+    HandlerReturn {
+        /// Simulated cycles the handler consumed.
+        handler_cycles: u64,
+    },
+
+    // ---- mem ----
+    /// A TLB hierarchy lookup.
+    TlbLookup {
+        /// Virtual page number.
+        vpn: u64,
+        /// Whether any TLB level hit.
+        hit: bool,
+        /// Lookup latency in cycles.
+        latency: u64,
+    },
+    /// The hardware walker began a page walk.
+    WalkStart {
+        /// Virtual address being translated.
+        vaddr: u64,
+    },
+    /// The walker accessed one page-table level.
+    WalkStep {
+        /// Level index (0 = PGD .. 3 = PTE).
+        level: u8,
+        /// Whether the page-walk cache short-circuited this level.
+        pwc_hit: bool,
+        /// Cycles this step cost.
+        latency: u64,
+    },
+    /// The walker finished.
+    WalkEnd {
+        /// Virtual address translated.
+        vaddr: u64,
+        /// Total walk latency in cycles.
+        latency: u64,
+        /// Whether the walk ended in a page fault.
+        faulted: bool,
+    },
+
+    // ---- cache ----
+    /// A line access was served.
+    CacheAccess {
+        /// Line address (byte address >> 6).
+        line: u64,
+        /// Which level served it.
+        tier: CacheTier,
+        /// Access latency in cycles.
+        latency: u64,
+    },
+    /// A line was flushed from the whole hierarchy (clflush-style).
+    CacheFlush {
+        /// Line address.
+        line: u64,
+    },
+    /// An L3 eviction back-invalidated inner copies.
+    BackInvalidate {
+        /// Line address.
+        line: u64,
+    },
+
+    // ---- os / module ----
+    /// A recipe was armed: its handle page's Present bit is now clear.
+    RecipeArmed {
+        /// Recipe id.
+        recipe: u32,
+        /// Replay-handle virtual address.
+        vaddr: u64,
+    },
+    /// The module cleared a Present bit.
+    PresentCleared {
+        /// Virtual address of the page.
+        vaddr: u64,
+    },
+    /// The module restored a Present bit (handle or pivot release).
+    PresentSet {
+        /// Virtual address of the page.
+        vaddr: u64,
+    },
+    /// PTE lines + PWC + TLB entry flushed for a page (shootdown).
+    TlbShootdown {
+        /// Virtual address of the page.
+        vaddr: u64,
+    },
+    /// The fault-handler trampoline claimed a fault on an armed page.
+    HandlerEnter {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// One replay cycle completed; the ambient replay index advances.
+    Replay {
+        /// Recipe id.
+        recipe: u32,
+        /// 1-based replay number within the current step.
+        replay: u64,
+    },
+    /// The module probed a monitor address after a replay.
+    MonitorProbe {
+        /// Probed virtual address.
+        vaddr: u64,
+        /// Observed access latency.
+        latency: u64,
+    },
+    /// The pivot engine advanced the attack by one step.
+    PivotStep {
+        /// Recipe id.
+        recipe: u32,
+        /// Steps completed so far.
+        step: u64,
+    },
+    /// A recipe finished and disarmed.
+    RecipeFinished {
+        /// Recipe id.
+        recipe: u32,
+        /// Total replays it performed.
+        replays: u64,
+    },
+    /// The kernel serviced a fault the module did not claim.
+    HonestFault {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+
+    // ---- session ----
+    /// An attack session started running.
+    SessionStart {
+        /// Number of hardware contexts.
+        contexts: u32,
+    },
+    /// The session's run loop ended.
+    RunEnd {
+        /// Cycle count at exit.
+        cycles: u64,
+        /// Whether every context halted.
+        all_halted: bool,
+    },
+    /// One monitor sample read back from the victim's buffer.
+    MonitorSample {
+        /// Sample index.
+        index: u64,
+        /// Measured latency delta.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// The layer this kind belongs to.
+    pub fn layer(&self) -> Layer {
+        use EventKind::*;
+        match self {
+            Fetch { .. }
+            | Issue { .. }
+            | Complete { .. }
+            | Retire { .. }
+            | Squash { .. }
+            | FaultRaised { .. }
+            | HandlerReturn { .. } => Layer::Cpu,
+            TlbLookup { .. } | WalkStart { .. } | WalkStep { .. } | WalkEnd { .. } => Layer::Mem,
+            CacheAccess { .. } | CacheFlush { .. } | BackInvalidate { .. } => Layer::Cache,
+            RecipeArmed { .. }
+            | PresentCleared { .. }
+            | PresentSet { .. }
+            | TlbShootdown { .. }
+            | HandlerEnter { .. }
+            | Replay { .. }
+            | MonitorProbe { .. }
+            | PivotStep { .. }
+            | RecipeFinished { .. }
+            | HonestFault { .. } => Layer::Os,
+            SessionStart { .. } | RunEnd { .. } | MonitorSample { .. } => Layer::Session,
+        }
+    }
+
+    /// Stable event name (used by the exporters).
+    pub fn name(&self) -> &'static str {
+        use EventKind::*;
+        match self {
+            Fetch { .. } => "fetch",
+            Issue { .. } => "issue",
+            Complete { .. } => "complete",
+            Retire { .. } => "retire",
+            Squash { .. } => "squash",
+            FaultRaised { .. } => "fault",
+            HandlerReturn { .. } => "handler-return",
+            TlbLookup { .. } => "tlb-lookup",
+            WalkStart { .. } => "walk-start",
+            WalkStep { .. } => "walk-step",
+            WalkEnd { .. } => "walk-end",
+            CacheAccess { .. } => "cache-access",
+            CacheFlush { .. } => "cache-flush",
+            BackInvalidate { .. } => "back-invalidate",
+            RecipeArmed { .. } => "recipe-armed",
+            PresentCleared { .. } => "present-cleared",
+            PresentSet { .. } => "present-set",
+            TlbShootdown { .. } => "tlb-shootdown",
+            HandlerEnter { .. } => "handler-enter",
+            Replay { .. } => "replay",
+            MonitorProbe { .. } => "monitor-probe",
+            PivotStep { .. } => "pivot-step",
+            RecipeFinished { .. } => "recipe-finished",
+            HonestFault { .. } => "honest-fault",
+            SessionStart { .. } => "session-start",
+            RunEnd { .. } => "run-end",
+            MonitorSample { .. } => "monitor-sample",
+        }
+    }
+
+    /// Appends this kind's payload as JSON object members (no braces),
+    /// e.g. `"seq":12,"pc":3`.
+    pub(crate) fn write_args_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        use EventKind::*;
+        match *self {
+            Fetch { seq, pc } | Issue { seq, pc } | Retire { seq, pc } => {
+                let _ = write!(out, "\"seq\":{seq},\"pc\":{pc}");
+            }
+            Complete { seq } => {
+                let _ = write!(out, "\"seq\":{seq}");
+            }
+            Squash { cause, discarded } => {
+                let _ = write!(out, "\"cause\":\"{cause}\",\"discarded\":{discarded}");
+            }
+            FaultRaised { vaddr, pc } => {
+                let _ = write!(out, "\"vaddr\":{vaddr},\"pc\":{pc}");
+            }
+            HandlerReturn { handler_cycles } => {
+                let _ = write!(out, "\"handler_cycles\":{handler_cycles}");
+            }
+            TlbLookup { vpn, hit, latency } => {
+                let _ = write!(out, "\"vpn\":{vpn},\"hit\":{hit},\"latency\":{latency}");
+            }
+            WalkStart { vaddr } => {
+                let _ = write!(out, "\"vaddr\":{vaddr}");
+            }
+            WalkStep {
+                level,
+                pwc_hit,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"level\":{level},\"pwc_hit\":{pwc_hit},\"latency\":{latency}"
+                );
+            }
+            WalkEnd {
+                vaddr,
+                latency,
+                faulted,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"vaddr\":{vaddr},\"latency\":{latency},\"faulted\":{faulted}"
+                );
+            }
+            CacheAccess {
+                line,
+                tier,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"line\":{line},\"tier\":\"{tier}\",\"latency\":{latency}"
+                );
+            }
+            CacheFlush { line } | BackInvalidate { line } => {
+                let _ = write!(out, "\"line\":{line}");
+            }
+            RecipeArmed { recipe, vaddr } => {
+                let _ = write!(out, "\"recipe\":{recipe},\"vaddr\":{vaddr}");
+            }
+            PresentCleared { vaddr }
+            | PresentSet { vaddr }
+            | TlbShootdown { vaddr }
+            | HandlerEnter { vaddr }
+            | HonestFault { vaddr } => {
+                let _ = write!(out, "\"vaddr\":{vaddr}");
+            }
+            Replay { recipe, replay } => {
+                let _ = write!(out, "\"recipe\":{recipe},\"replay\":{replay}");
+            }
+            MonitorProbe { vaddr, latency } => {
+                let _ = write!(out, "\"vaddr\":{vaddr},\"latency\":{latency}");
+            }
+            PivotStep { recipe, step } => {
+                let _ = write!(out, "\"recipe\":{recipe},\"step\":{step}");
+            }
+            RecipeFinished { recipe, replays } => {
+                let _ = write!(out, "\"recipe\":{recipe},\"replays\":{replays}");
+            }
+            SessionStart { contexts } => {
+                let _ = write!(out, "\"contexts\":{contexts}");
+            }
+            RunEnd { cycles, all_halted } => {
+                let _ = write!(out, "\"cycles\":{cycles},\"all_halted\":{all_halted}");
+            }
+            MonitorSample { index, value } => {
+                let _ = write!(out, "\"index\":{index},\"value\":{value}");
+            }
+        }
+    }
+}
+
+/// One record on the bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle the event was recorded at.
+    pub cycle: u64,
+    /// Originating hardware context, when one is meaningful.
+    pub ctx: Option<u32>,
+    /// Ambient replay index (0 before the first replay completes; replay
+    /// *N* means "during the N-th replay cycle of the current step").
+    pub replay: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}] {:<7} r{:<3} {}",
+            self.cycle,
+            self.kind.layer(),
+            self.replay,
+            self.kind.name()
+        )?;
+        if let Some(c) = self.ctx {
+            write!(f, " ctx{c}")?;
+        }
+        let mut args = String::new();
+        self.kind.write_args_json(&mut args);
+        if !args.is_empty() {
+            write!(f, " {{{args}}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_maps_to_its_layer() {
+        assert_eq!(EventKind::Fetch { seq: 1, pc: 2 }.layer(), Layer::Cpu);
+        assert_eq!(
+            EventKind::TlbLookup {
+                vpn: 1,
+                hit: true,
+                latency: 1
+            }
+            .layer(),
+            Layer::Mem
+        );
+        assert_eq!(
+            EventKind::CacheAccess {
+                line: 1,
+                tier: CacheTier::L1,
+                latency: 4
+            }
+            .layer(),
+            Layer::Cache
+        );
+        assert_eq!(
+            EventKind::Replay {
+                recipe: 0,
+                replay: 3
+            }
+            .layer(),
+            Layer::Os
+        );
+        assert_eq!(
+            EventKind::MonitorSample { index: 0, value: 9 }.layer(),
+            Layer::Session
+        );
+    }
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        let e = Event {
+            cycle: 120,
+            ctx: Some(0),
+            replay: 2,
+            kind: EventKind::Squash {
+                cause: SquashCause::PageFault,
+                discarded: 17,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("page-fault"), "{s}");
+        assert!(s.contains("17"), "{s}");
+        assert!(s.contains("cpu"), "{s}");
+    }
+}

@@ -296,6 +296,8 @@ fn shift_rows(state: &mut [[u8; 4]; 4]) {
 }
 
 fn mix_columns(state: &mut [[u8; 4]; 4]) {
+    // Column-major access over a row-major state: indexing is the clear form.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..4 {
         let col = [state[0][c], state[1][c], state[2][c], state[3][c]];
         state[0][c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
@@ -340,7 +342,12 @@ pub fn decrypt_block_traced(
     let mut trace = Vec::new();
 
     let word = |i: usize| {
-        u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]])
+        u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ])
     };
     let mut s = [
         word(0) ^ rk[0],
@@ -497,7 +504,12 @@ pub fn build(
     let td4_base = layout.array_u32(&td4);
     let in_words: Vec<u32> = (0..4)
         .map(|i| {
-            u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]])
+            u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ])
         })
         .collect();
     let input = layout.array_u32(&in_words);
@@ -556,7 +568,12 @@ pub fn build(
     // Final round via Td4 with byte masks.
     let masks = [0xff00_0000u64, 0x00ff_0000, 0x0000_ff00, 0x0000_00ff];
     for i in 0..4 {
-        let srcs = [r::S[i], r::S[(i + 3) % 4], r::S[(i + 2) % 4], r::S[(i + 1) % 4]];
+        let srcs = [
+            r::S[i],
+            r::S[(i + 3) % 4],
+            r::S[(i + 2) % 4],
+            r::S[(i + 1) % 4],
+        ];
         let shifts = [24u64, 16, 8, 0];
         for (j, (src, shift)) in srcs.iter().zip(shifts).enumerate() {
             if shift == 0 {
@@ -620,16 +637,16 @@ mod tests {
     use super::*;
 
     const FIPS_KEY_128: [u8; 16] = [
-        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
-        0x0e, 0x0f,
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        0x0f,
     ];
     const FIPS_PLAIN: [u8; 16] = [
-        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
-        0xee, 0xff,
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
     ];
     const FIPS_CIPHER_128: [u8; 16] = [
-        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
-        0xc5, 0x5a,
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5,
+        0x5a,
     ];
 
     #[test]
@@ -740,7 +757,14 @@ mod tests {
         let ct = encrypt_block(&key, KeySize::Aes256, &block);
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
-        let (prog, layout) = build(&mut phys, aspace, VAddr(0x100_0000), &key, KeySize::Aes256, &ct);
+        let (prog, layout) = build(
+            &mut phys,
+            aspace,
+            VAddr(0x100_0000),
+            &key,
+            KeySize::Aes256,
+            &ct,
+        );
         let mut m = microscope_cpu::MachineBuilder::new()
             .phys(phys)
             .context_in(prog, aspace)
@@ -786,8 +810,7 @@ mod tests {
             KeySize::Aes128,
             &FIPS_CIPHER_128,
         );
-        let (_, trace) =
-            decrypt_block_traced(&FIPS_KEY_128, KeySize::Aes128, &FIPS_CIPHER_128);
+        let (_, trace) = decrypt_block_traced(&FIPS_KEY_128, KeySize::Aes128, &FIPS_CIPHER_128);
         let mut m = microscope_cpu::MachineBuilder::new()
             .phys(phys)
             .context_in(prog, aspace)

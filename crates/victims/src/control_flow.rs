@@ -123,7 +123,10 @@ mod tests {
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
         let (prog, _) = build(&mut phys, aspace, VAddr(0x50_0000), secret);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         m.run(1_000_000);
         m
     }

@@ -33,12 +33,8 @@ impl<'a> DataLayout<'a> {
     pub fn page(&mut self, bytes: u64) -> VAddr {
         let base = self.next;
         let pages = bytes.max(1).div_ceil(PAGE_BYTES);
-        self.aspace.alloc_map(
-            self.phys,
-            base,
-            pages * PAGE_BYTES,
-            PteFlags::user_data(),
-        );
+        self.aspace
+            .alloc_map(self.phys, base, pages * PAGE_BYTES, PteFlags::user_data());
         self.next = VAddr(base.0 + pages * PAGE_BYTES);
         base
     }

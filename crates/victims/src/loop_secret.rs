@@ -108,10 +108,20 @@ pub fn build(
     asm.load(regs::TMP, regs::HANDLE, 0);
     // transmit(secret[i]): load table[secret[i] * 64].
     asm.alu_imm(microscope_cpu::AluOp::Shl, regs::SECRET, regs::I, 3)
-        .alu(microscope_cpu::AluOp::Add, regs::SECRET, regs::SECRET, regs::SECRETS)
+        .alu(
+            microscope_cpu::AluOp::Add,
+            regs::SECRET,
+            regs::SECRET,
+            regs::SECRETS,
+        )
         .load(regs::SECRET, regs::SECRET, 0)
         .alu_imm(microscope_cpu::AluOp::Shl, regs::SECRET, regs::SECRET, 6)
-        .alu(microscope_cpu::AluOp::Add, regs::SECRET, regs::SECRET, regs::TABLE)
+        .alu(
+            microscope_cpu::AluOp::Add,
+            regs::SECRET,
+            regs::SECRET,
+            regs::TABLE,
+        )
         .load(regs::SINK, regs::SECRET, 0);
     // pivot(pub_addrB): a load from page B.
     asm.load(regs::TMP, regs::PIVOT, 0);
@@ -143,7 +153,10 @@ mod tests {
         let aspace = AddressSpace::new(&mut phys, 1);
         let secrets = [3, 1, 4, 1, 5];
         let (prog, layout) = build(&mut phys, aspace, VAddr(0x60_0000), &secrets, 8);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         m.run(5_000_000);
         assert!(m.context(ContextId(0)).halted());
         assert_eq!(m.context(ContextId(0)).reg(regs::I), 5);

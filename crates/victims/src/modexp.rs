@@ -128,7 +128,7 @@ pub fn build(
     bits: u32,
 ) -> (Program, ModExpLayout) {
     assert!((2..1 << 20).contains(&modulus), "modulus out of range");
-    assert!(bits >= 1 && bits <= 24);
+    assert!((1..=24).contains(&bits));
     let mut layout = DataLayout::new(phys, aspace, at);
     let handle = layout.page(64);
     let pivot = layout.page(64);
@@ -202,8 +202,19 @@ mod tests {
     fn run_victim(base: u64, exp: u64, modulus: u64, bits: u32) -> u64 {
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
-        let (prog, layout) = build(&mut phys, aspace, VAddr(0x200_0000), base, exp, modulus, bits);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let (prog, layout) = build(
+            &mut phys,
+            aspace,
+            VAddr(0x200_0000),
+            base,
+            exp,
+            modulus,
+            bits,
+        );
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         let exit = m.run(50_000_000);
         assert_eq!(exit, microscope_cpu::RunExit::AllHalted);
         m.read_virt(ContextId(0), layout.result, 8)
@@ -211,7 +222,10 @@ mod tests {
 
     #[test]
     fn computes_modular_exponentiation() {
-        assert_eq!(run_victim(7, 0b1011, 1_000_003, 4), modexp_reference(7, 0b1011, 1_000_003, 4));
+        assert_eq!(
+            run_victim(7, 0b1011, 1_000_003, 4),
+            modexp_reference(7, 0b1011, 1_000_003, 4)
+        );
         assert_eq!(run_victim(2, 10, 997, 8), 1024 % 997);
         assert_eq!(run_victim(5, 0, 97, 4), 1);
     }

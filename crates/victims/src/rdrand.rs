@@ -70,7 +70,12 @@ pub fn build(phys: &mut PhysMem, aspace: AddressSpace, base: VAddr) -> (Program,
         // Transmit: table[(r & 1) * PAGE].
         .alu_imm(microscope_cpu::AluOp::And, regs::BIT, regs::RAND, 1)
         .alu_imm(microscope_cpu::AluOp::Shl, regs::BIT, regs::BIT, 12)
-        .alu(microscope_cpu::AluOp::Add, regs::BIT, regs::BIT, regs::TABLE)
+        .alu(
+            microscope_cpu::AluOp::Add,
+            regs::BIT,
+            regs::BIT,
+            regs::TABLE,
+        )
         .load(regs::SINK, regs::BIT, 0)
         // Commit the value.
         .store(regs::RAND, regs::RESULT, 0)
@@ -96,7 +101,10 @@ mod tests {
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
         let (prog, layout) = build(&mut phys, aspace, VAddr(0x70_0000));
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         m.run(1_000_000);
         let committed = m.read_virt(ContextId(0), layout.result, 8);
         let bit = committed & 1;

@@ -131,7 +131,10 @@ mod tests {
         let aspace = AddressSpace::new(&mut phys, 1);
         let secrets: Vec<f64> = (0..16).map(|i| i as f64 + 1.0).collect();
         let (prog, layout) = build(&mut phys, aspace, VAddr(0x40_0000), &secrets, 5, 2.0);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         m.run(1_000_000);
         let ctx = m.context(ContextId(0));
         assert_eq!(ctx.reg_f64(regs::RESULT), expected(&secrets, 5, 2.0));

@@ -83,7 +83,10 @@ mod tests {
         let mut phys = PhysMem::new();
         let aspace = AddressSpace::new(&mut phys, 1);
         let (prog, _) = build(&mut phys, aspace, VAddr(0x80_0000), false);
-        let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+        let mut m = MachineBuilder::new()
+            .phys(phys)
+            .context_in(prog, aspace)
+            .build();
         m.run(1_000_000);
         assert_eq!(m.context(ContextId(0)).reg_f64(regs::Q), 1234.5 / 3.0);
     }
@@ -94,7 +97,10 @@ mod tests {
             let mut phys = PhysMem::new();
             let aspace = AddressSpace::new(&mut phys, 1);
             let (prog, _) = build(&mut phys, aspace, VAddr(0x80_0000), subnormal);
-            let mut m = MachineBuilder::new().phys(phys).context_in(prog, aspace).build();
+            let mut m = MachineBuilder::new()
+                .phys(phys)
+                .context_in(prog, aspace)
+                .build();
             m.run(1_000_000);
             m.cycle()
         };

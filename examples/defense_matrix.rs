@@ -15,7 +15,11 @@ fn main() {
             o.name,
             o.leak_undefended,
             o.leak_defended,
-            if o.effective { "EFFECTIVE" } else { "BYPASSED/INSUFFICIENT" }
+            if o.effective {
+                "EFFECTIVE"
+            } else {
+                "BYPASSED/INSUFFICIENT"
+            }
         );
         println!("    {}\n", o.caveat);
     }

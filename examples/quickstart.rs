@@ -33,9 +33,7 @@ fn main() {
     // 2. The Replayer: the in-kernel MicroScope module, configured through
     //    the paper's Table-2 API. Five replays of the handle.
     // ------------------------------------------------------------------
-    let id = b
-        .module()
-        .provide_replay_handle(ContextId(0), layout.count);
+    let id = b.module().provide_replay_handle(ContextId(0), layout.count);
     b.module().recipe_mut(id).replays_per_step = 5;
     b.module().recipe_mut(id).name = "quickstart".into();
 
@@ -86,5 +84,8 @@ fn main() {
         }
     }
     println!("\nThe division executed speculatively on every replay — one");
-    println!("logical run, {} noisy samples for the attacker.", report.replays());
+    println!(
+        "logical run, {} noisy samples for the attacker.",
+        report.replays()
+    );
 }

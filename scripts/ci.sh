@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, build, tests. Run from the repo root.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "CI OK"

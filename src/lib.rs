@@ -11,6 +11,7 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
+//! * [`probe`] — cross-layer event bus, metrics registry, trace exporters
 //! * [`cache`] — caches, DRAM, page-walk cache, L1 banking
 //! * [`mem`] — physical memory, page tables, TLBs, hardware page walker
 //! * [`cpu`] — the out-of-order SMT machine (ROB, ports, TSX, RDRAND)
@@ -56,4 +57,5 @@ pub use microscope_defenses as defenses;
 pub use microscope_enclave as enclave;
 pub use microscope_mem as mem;
 pub use microscope_os as os;
+pub use microscope_probe as probe;
 pub use microscope_victims as victims;

@@ -12,8 +12,7 @@ fn all_five_table2_operations_drive_a_working_attack() {
     let mut b = SessionBuilder::new();
     let aspace = b.new_aspace(1);
     let secrets = [2u64, 6, 1, 7];
-    let (prog, layout) =
-        loop_secret::build(b.phys(), aspace, VAddr(0x1000_0000), &secrets, 8);
+    let (prog, layout) = loop_secret::build(b.phys(), aspace, VAddr(0x1000_0000), &secrets, 8);
     b.victim(prog, aspace);
 
     // Table 2, rows 1-3: recipe construction.
@@ -62,8 +61,7 @@ fn all_five_table2_operations_drive_a_working_attack() {
 fn initiate_page_walk_and_page_fault_operate_directly() {
     use microscope::cpu::{BranchPredictor, HwParts, PredictorConfig};
     use microscope::mem::{
-        AddressSpace, PageWalker, PhysMem, PteFlags, TlbHierarchy, TlbHierarchyConfig,
-        WalkerConfig,
+        AddressSpace, PageWalker, PhysMem, PteFlags, TlbHierarchy, TlbHierarchyConfig, WalkerConfig,
     };
     use microscope::os::MicroScopeModule;
 
@@ -102,5 +100,8 @@ fn initiate_page_walk_and_page_fault_operate_directly() {
     let out = hw
         .walker
         .walk(&mut hw.phys, &mut hw.hier, &aspace, va, false);
-    assert!(out.result.is_err(), "access after initiate_page_fault faults");
+    assert!(
+        out.result.is_err(),
+        "access after initiate_page_fault faults"
+    );
 }

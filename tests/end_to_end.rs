@@ -18,6 +18,7 @@ fn port_contention_recovers_random_secrets_from_one_run_each() {
         walk: WalkTuning::Long,
         max_cycles: 30_000_000,
         ambient_interrupt_retires: None,
+        probe: None,
     };
     // Calibrate once on a known-mul run.
     let baseline = port_contention::run_attack(false, &cfg).monitor_samples;

@@ -102,7 +102,9 @@ fn run(ops: &[Op], handle_pos: usize, replays: u64) -> (Vec<u64>, Vec<u64>) {
         assert_eq!(report.replays(), replays);
     }
     let machine = session.machine();
-    let regs: Vec<u64> = (0..16).map(|r| machine.context(ContextId(0)).reg(Reg(r))).collect();
+    let regs: Vec<u64> = (0..16)
+        .map(|r| machine.context(ContextId(0)).reg(Reg(r)))
+        .collect();
     let data_base = VAddr(0x1000_0000 + PAGE_BYTES); // second page of the layout
     let mem: Vec<u64> = (0..8)
         .map(|slot| machine.read_virt(ContextId(0), data_base.offset(slot * 8), 8))

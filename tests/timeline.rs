@@ -20,9 +20,7 @@ fn attacked_session(replays: u64, enclave: bool) -> microscope::core::AttackSess
     if enclave {
         b.victim_enclave(EnclaveRegion::new(VAddr(0x1000_0000), 64));
     }
-    let id = b
-        .module()
-        .provide_replay_handle(ContextId(0), layout.count);
+    let id = b.module().provide_replay_handle(ContextId(0), layout.count);
     b.module().recipe_mut(id).replays_per_step = replays;
     b.build()
 }
@@ -42,11 +40,10 @@ fn replay_cycle_has_the_figure3_event_order() {
     for e in events {
         match e.kind {
             TraceKind::Fault { pc, .. } => fault_pcs.push(pc),
-            TraceKind::Squash { cause, .. }
-                if cause == microscope::cpu::SquashCause::PageFault =>
-            {
-                squashes += 1
-            }
+            TraceKind::Squash {
+                cause: microscope::cpu::SquashCause::PageFault,
+                ..
+            } => squashes += 1,
             TraceKind::HandlerReturn { .. } => handlers += 1,
             _ => {}
         }

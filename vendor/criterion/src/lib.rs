@@ -1,0 +1,162 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Provides just enough API for the workspace's benches to compile and run
+//! offline: `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Timing
+//! uses `std::time::Instant` with a simple mean over a fixed batch — good
+//! enough for relative comparisons, with none of criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not interpreted).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher {
+            iterations,
+            total: Duration::ZERO,
+            measured: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.measured = self.iterations;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.measured = self.iterations;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.measured == 0 {
+            return 0.0;
+        }
+        self.total.as_nanos() as f64 / self.measured as f64
+    }
+}
+
+/// Bench registry/driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many iterations each routine is run for.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs (and times) one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+            b.mean_ns(),
+            b.measured
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small API subset it actually uses: `StdRng::seed_from_u64` plus the
+//! `Rng` combinators `gen`, `gen_bool`, `gen_range` and `fill`. The
+//! generator is a splitmix64/xoshiro-style mixer — statistically fine for
+//! simulation noise and, crucially, *seed-stable*, which DESIGN.md §4
+//! requires for reproducible figures. It is NOT cryptographic.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding — only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is negligible for the simulation-sized spans
+                // used here (all far below 2^64).
+                let off = (rng.next_u64() as u128) % span;
+                (low as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f64::sample(rng) * (high - low)
+    }
+}
+
+/// Destinations `Rng::fill` can write into.
+pub trait Fill {
+    /// Fills `self` with random bytes.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for chunk in self.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        self.as_mut_slice().fill_from(rng);
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of an inferred type (`Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample(self) < p
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Fills a byte buffer with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn fill_covers_whole_buffer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 16];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut slice = vec![0u8; 37];
+        rng.fill(slice.as_mut_slice());
+        assert!(slice[29..].iter().any(|&b| b != 0));
+    }
+}
