@@ -31,7 +31,7 @@ fn bench_replay_cycle(c: &mut Criterion) {
                     builder.victim(asm.finish(), aspace);
                     let id = builder.module().provide_replay_handle(ContextId(0), handle);
                     builder.module().recipe_mut(id).replays_per_step = replays;
-                    builder.build()
+                    builder.build().expect("bench session has a victim")
                 },
                 |mut session| {
                     let report = session.run(50_000_000);

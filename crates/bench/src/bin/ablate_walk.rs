@@ -6,10 +6,12 @@
 //! A pointer-chasing victim leaks one cache line per ~DRAM-latency of
 //! speculation window; sweeping the walk tuning from 1 to 4 memory levels
 //! (plus the fully flushed "long" walk) shows the window — and therefore
-//! the leak — scaling with the walk.
+//! the leak — scaling with the walk. Pass `--jobs N` to run the tunings
+//! on parallel sweep workers; stdout is identical for any worker count.
 
-use microscope_bench::{print_table, shape_check};
-use microscope_core::SessionBuilder;
+use microscope_bench::{extract_jobs, parse_or_exit, print_table, shape_check};
+use microscope_core::sweep::{SweepPoint, SweepSpec};
+use microscope_core::{SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, Reg};
 use microscope_mem::{VAddr, LINE_BYTES};
 use microscope_os::WalkTuning;
@@ -45,9 +47,10 @@ fn chase_victim(
 
 /// Measures (walk cycles between faults, lines leaked in the window) for a
 /// given tuning. Uses 2 replays: the fault-log gap gives the period.
-fn measure(walk: WalkTuning) -> (u64, usize) {
+fn measure(sim: SimConfig, walk: WalkTuning) -> (u64, usize) {
     let links = 24u64;
     let mut b = SessionBuilder::new();
+    b.sim(sim);
     let (_, handle, lines) = chase_victim(&mut b, links);
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     {
@@ -58,7 +61,7 @@ fn measure(walk: WalkTuning) -> (u64, usize) {
         recipe.handler_cycles = 400;
         recipe.monitor_addrs = lines.clone();
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("ablation session has a victim");
     let report = session.run(20_000_000);
     // Second observation: primed before, so hits == the window's reach.
     let leaked = report
@@ -75,25 +78,44 @@ fn measure(walk: WalkTuning) -> (u64, usize) {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_or_exit(extract_jobs(&mut args));
     println!("== §4.1.2 ablation: walk tuning vs speculation window ==");
     println!("victim: dependent pointer chase (1 line leaked per ~memory latency)\n");
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    for (name, tuning) in [
+    let grid = [
         ("length 1 (3 levels warm)", WalkTuning::Length { levels: 1 }),
         ("length 2", WalkTuning::Length { levels: 2 }),
         ("length 3", WalkTuning::Length { levels: 3 }),
         ("length 4 (fully cold)", WalkTuning::Length { levels: 4 }),
         ("long (flush everything)", WalkTuning::Long),
-    ] {
-        let (period, leaked) = measure(tuning);
-        results.push((name, period, leaked));
-        rows.push(vec![
-            name.to_string(),
-            period.to_string(),
-            leaked.to_string(),
-        ]);
+    ];
+    let sweep = SweepSpec::new("ablate-walk", |pt: &SweepPoint<WalkTuning>| {
+        let (period, leaked) = measure(pt.sim, pt.payload);
+        Ok((period, leaked))
+    })
+    .points(
+        grid.iter()
+            .map(|(name, tuning)| (name.to_string(), SimConfig::default(), *tuning)),
+    )
+    .jobs_opt(jobs)
+    .run();
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
     }
+    if sweep.errors().next().is_some() {
+        std::process::exit(1);
+    }
+    let results: Vec<(&str, u64, usize)> = sweep
+        .ok()
+        .map(|(pt, &(period, leaked))| (pt.label.as_str(), period, leaked))
+        .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, period, leaked)| {
+            vec![name.to_string(), period.to_string(), leaked.to_string()]
+        })
+        .collect();
     print_table(
         &[
             "walk tuning",

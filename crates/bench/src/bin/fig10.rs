@@ -4,16 +4,24 @@
 //! and their ratio (paper: 4 vs 64, a 16× gap).
 //!
 //! Run with `cargo run --release -p microscope-bench --bin fig10`.
-//! Pass `--samples N` to change the monitor sample count, `--trace-out
-//! PATH` / `--metrics-out PATH` to export the division victim's
-//! cross-layer trace (Perfetto-loadable) and metric registry.
+//! Pass `--samples N` to change the monitor sample count, `--jobs N` to
+//! run the two victims on parallel sweep workers (output is identical for
+//! any worker count), `--trace-out PATH` / `--metrics-out PATH` to export
+//! the division victim's cross-layer trace (Perfetto-loadable) and the
+//! sweep's merged metric registry.
 
-use microscope_bench::{histogram, print_table, shape_check, summarize_latencies, ExportFlags};
-use microscope_channels::port_contention::{figure10, PortContentionConfig};
+use microscope_bench::{
+    extract_jobs, histogram, parse_or_exit, print_table, shape_check, summarize_latencies,
+    ExportFlags,
+};
+use microscope_channels::port_contention::{analyze, run_attack, PortContentionConfig};
+use microscope_core::sweep::{SweepPoint, SweepSpec};
+use microscope_core::SimConfig;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let export = ExportFlags::extract(&mut args);
+    let export = parse_or_exit(ExportFlags::extract(&mut args));
+    let jobs = parse_or_exit(extract_jobs(&mut args));
     let mut samples = 10_000u64;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -30,7 +38,28 @@ fn main() {
     println!("== Figure 10: port-contention attack ({samples} monitor samples) ==");
     println!("victim: control-flow secret (Fig. 4c/6); monitor: timed divsd loop (Fig. 7)");
     println!("replay handle: addq counter on its own page; walk tuning: long\n");
-    let r = figure10(&cfg);
+
+    // One sweep point per victim variant; the secret rides as the payload.
+    let sweep = SweepSpec::new("fig10", |pt: &SweepPoint<bool>| {
+        Ok(run_attack(pt.payload, &cfg))
+    })
+    .point("mul victim (10a)", SimConfig::default(), false)
+    .point("div victim (10b)", SimConfig::default(), true)
+    .jobs_opt(jobs)
+    .run();
+    // Scheduling details go to stderr: stdout stays byte-identical
+    // whatever --jobs was.
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
+    }
+    let reports: Vec<_> = sweep.ok().map(|(_, rep)| rep).collect();
+    let [mul, div] = reports.as_slice() else {
+        std::process::exit(1);
+    };
+    let mut r = analyze(mul.monitor_samples.clone(), div.monitor_samples.clone());
+    r.mul_report = Some((*mul).clone());
+    r.div_report = Some((*div).clone());
 
     println!(
         "{}",
@@ -68,7 +97,7 @@ fn main() {
     );
 
     if let Some(report) = &r.div_report {
-        export.export(report);
+        microscope_bench::export_or_exit(export.export_with(report, &sweep.merged_metrics()));
     }
 
     let ok1 = shape_check(

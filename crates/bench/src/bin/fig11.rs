@@ -7,38 +7,67 @@
 //! Replays 1 and 2 (primed) are clean and identical: exactly the lines the
 //! replayed window touches hit in L1, everything else misses to memory.
 
-use microscope_bench::{print_table, shape_check, ExportFlags};
+use microscope_bench::{
+    export_or_exit, extract_jobs, parse_or_exit, print_table, shape_check, ExportFlags,
+};
 use microscope_cache::{CacheConfig, HierarchyConfig};
 use microscope_channels::aes_attack::{self, AesAttackConfig};
+use microscope_core::sweep::{PointOutput, SweepPoint, SweepSpec};
+use microscope_core::SimConfig;
 use microscope_os::WalkTuning;
+use microscope_probe::MetricSet;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let export = ExportFlags::extract(&mut args);
+    let export = parse_or_exit(ExportFlags::extract(&mut args));
+    let jobs = parse_or_exit(extract_jobs(&mut args));
     // A small L1/L2 gives the table lines a natural lifetime across the
     // hierarchy (on the paper's loaded machine, system noise does this), so
     // the unprimed Replay-0 probe sees L1 hits, L2/L3 hits AND misses.
-    let hier = HierarchyConfig {
+    let sim = SimConfig::new().with_hierarchy(HierarchyConfig {
         l1: CacheConfig::new(16, 2, 4),
         l2: CacheConfig::new(64, 4, 12),
         ..HierarchyConfig::default()
-    };
-    let cfg = AesAttackConfig {
-        key: (0..16).collect(),
-        block: *b"fig11 ciphertext",
-        replays_per_step: 3,
-        max_steps: 1,
-        walk: WalkTuning::Length { levels: 2 },
-        defer_arm: Some(220), // mid-decryption, caches naturally warm
-        hier: Some(hier),
-        probe: export.recorder(),
-        ..AesAttackConfig::default()
-    };
+    });
     println!("== Figure 11: Td1 probe latencies across three replays of one iteration ==");
     println!("victim: OpenSSL-style T-table AES-128 decryption (one block)");
     println!("handle: rk page; pivot: Td0 page; probes: all 64 Td lines; primed between replays\n");
-    let out = aes_attack::run(&cfg);
-    export.export(&out.report);
+    let probe = export.recorder();
+    let sweep = SweepSpec::new("fig11", |pt: &SweepPoint<()>| {
+        let cfg = AesAttackConfig {
+            key: (0..16).collect(),
+            block: *b"fig11 ciphertext",
+            replays_per_step: 3,
+            max_steps: 1,
+            walk: WalkTuning::Length { levels: 2 },
+            defer_arm: Some(220), // mid-decryption, caches naturally warm
+            sim: pt.sim,
+            probe,
+            ..AesAttackConfig::default()
+        };
+        let out = aes_attack::run(&cfg);
+        // Carry the architectural-correctness verdict as a point note so
+        // it survives aggregation (and lands in the metric export).
+        let mut notes = MetricSet::new();
+        notes.set_count("decrypted_ok", u64::from(out.decrypted_correctly));
+        Ok(PointOutput {
+            report: out.report,
+            notes,
+        })
+    })
+    .point("aes-td1", sim, ())
+    .jobs_opt(jobs)
+    .run();
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
+    }
+    let Some((_, out)) = sweep.ok().next() else {
+        std::process::exit(1);
+    };
+    export_or_exit(export.export_with(&out.report, &sweep.merged_metrics()));
+    let decrypted_correctly =
+        out.notes.get("decrypted_ok") == Some(microscope_probe::MetricValue::Count(1));
     let obs = &out.report.module.observations;
     assert!(obs.len() >= 3, "expected 3 replays, got {}", obs.len());
 
@@ -46,8 +75,8 @@ fn main() {
     let mut rows = Vec::new();
     for line in 0..16usize {
         let mut row = vec![format!("Td1 line {line}")];
-        for replay in 0..3usize {
-            let (_, lat) = out.report.module.observations[replay].probes[16 + line];
+        for ob in obs.iter().take(3) {
+            let (_, lat) = ob.probes[16 + line];
             row.push(lat.to_string());
         }
         rows.push(row);
@@ -95,7 +124,7 @@ fn main() {
     );
     let ok_arch = shape_check(
         "decryption unperturbed",
-        out.decrypted_correctly,
+        decrypted_correctly,
         "victim's architectural output matches the reference",
     );
     println!(

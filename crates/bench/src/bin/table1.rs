@@ -5,14 +5,24 @@
 //! The paper's table is qualitative; this harness reports the claimed
 //! class next to a measured single-trace accuracy (noise proxy: accuracy
 //! 1.0 ⇒ noiseless; ≪1.0 ⇒ the attack needs many traces) and the
-//! channel's spatial granularity in bytes.
+//! channel's spatial granularity in bytes. The ten rows run as one sweep
+//! grid — pass `--jobs N` to fan them out across workers; the printed
+//! table is identical for any worker count.
 
-use microscope_bench::{print_table, shape_check, ExportFlags};
-use microscope_channels::taxonomy::{catalog, Noise, Temporal};
+use microscope_bench::{
+    export_or_exit, extract_jobs, parse_or_exit, print_table, shape_check, ExportFlags,
+};
+use microscope_channels::taxonomy::{catalog, Measurement, Noise, Temporal};
+use microscope_core::sweep::{SweepPoint, SweepSpec};
+use microscope_core::SimConfig;
+
+/// One taxonomy row's sweep payload: its experiment fn plus trial count.
+type RowRun = (fn(u32, u64) -> Measurement, u32);
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let export = ExportFlags::extract(&mut raw);
+    let export = parse_or_exit(ExportFlags::extract(&mut raw));
+    let jobs = parse_or_exit(extract_jobs(&mut raw));
     let mut args = raw.into_iter();
     let mut trials = 30u32;
     while let Some(a) = args.next() {
@@ -24,42 +34,74 @@ fn main() {
         }
     }
     println!("== Table 1: side-channel taxonomy, measured ({trials} trials/row) ==\n");
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    for row in catalog() {
-        // MicroScope-class experiments are slower; scale trials down.
-        let t = if row.name.contains("MicroScope") || row.name.contains("one shot") {
-            (trials / 3).max(4)
-        } else {
-            trials
-        };
-        let m = (row.experiment)(t, 0xdecade + t as u64);
-        rows.push(vec![
-            row.name.to_string(),
-            row.citation.to_string(),
-            format!(
-                "{}{}",
-                if row.spatial.is_fine_grain() {
-                    "fine "
-                } else {
-                    "coarse "
-                },
-                row.spatial.bytes()
-            ),
-            match row.temporal {
-                Temporal::Low => "low".into(),
-                Temporal::MediumHigh => "medium/high".into(),
-            },
-            match row.noise {
-                Noise::None => "none".into(),
-                Noise::Medium => "medium".into(),
-                Noise::High => "high".into(),
-            },
-            format!("{:.2}", m.single_trace_accuracy),
-            m.samples_per_run.to_string(),
-        ]);
-        results.push((row, m));
+    let rows_catalog = catalog();
+    // Each taxonomy row is one sweep point; the payload carries the row's
+    // experiment fn and its trial count (MicroScope-class experiments are
+    // slower, so their trials scale down).
+    let defs: Vec<(String, SimConfig, RowRun)> = rows_catalog
+        .iter()
+        .map(|row| {
+            let t = if row.name.contains("MicroScope") || row.name.contains("one shot") {
+                (trials / 3).max(4)
+            } else {
+                trials
+            };
+            (
+                row.name.to_string(),
+                SimConfig::default(),
+                (row.experiment, t),
+            )
+        })
+        .collect();
+    let sweep = SweepSpec::new("table1", |pt: &SweepPoint<RowRun>| {
+        let (experiment, t) = pt.payload;
+        // The historical per-row seed formula, kept so the measured
+        // numbers match the serial harness exactly.
+        Ok(experiment(t, 0xdecade + t as u64))
+    })
+    .points(defs)
+    .jobs_opt(jobs)
+    .run();
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
     }
+    if sweep.errors().next().is_some() {
+        std::process::exit(1);
+    }
+    let results: Vec<_> = rows_catalog
+        .iter()
+        .zip(sweep.ok().map(|(_, m)| *m))
+        .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(row, m)| {
+            vec![
+                row.name.to_string(),
+                row.citation.to_string(),
+                format!(
+                    "{}{}",
+                    if row.spatial.is_fine_grain() {
+                        "fine "
+                    } else {
+                        "coarse "
+                    },
+                    row.spatial.bytes()
+                ),
+                match row.temporal {
+                    Temporal::Low => "low".into(),
+                    Temporal::MediumHigh => "medium/high".into(),
+                },
+                match row.noise {
+                    Noise::None => "none".into(),
+                    Noise::Medium => "medium".into(),
+                    Noise::High => "high".into(),
+                },
+                format!("{:.2}", m.single_trace_accuracy),
+                m.samples_per_run.to_string(),
+            ]
+        })
+        .collect();
     print_table(
         &[
             "attack",
@@ -108,7 +150,7 @@ fn main() {
     );
     // On request, export the cross-layer trace/metrics of one
     // representative MicroScope run (the table rows themselves only return
-    // aggregate accuracies).
+    // aggregate accuracies) plus the sweep's merged per-row metrics.
     if export.active() {
         let cfg = microscope_channels::port_contention::PortContentionConfig {
             samples: 400,
@@ -118,7 +160,7 @@ fn main() {
             ..Default::default()
         };
         let report = microscope_channels::port_contention::run_attack(true, &cfg);
-        export.export(&report);
+        export_or_exit(export.export_with(&report, &sweep.merged_metrics()));
     }
     std::process::exit(if ok1 && ok2 && ok3 && ok4 { 0 } else { 1 });
 }

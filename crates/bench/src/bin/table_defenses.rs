@@ -1,12 +1,36 @@
 //! Regenerates the paper's **§8 countermeasure discussion** as a table:
-//! each defense implemented, attacked, and scored.
+//! each defense implemented, attacked, and scored. The seven evaluations
+//! run as one sweep grid — pass `--jobs N` to fan them out; the table is
+//! identical for any worker count.
 
-use microscope_bench::{print_table, shape_check};
-use microscope_defenses::evaluate_all;
+use microscope_bench::{extract_jobs, parse_or_exit, print_table, shape_check};
+use microscope_core::sweep::{SweepPoint, SweepSpec};
+use microscope_core::SimConfig;
+use microscope_defenses::{evaluators, DefenseOutcome};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_or_exit(extract_jobs(&mut args));
     println!("== §8: possible countermeasures, evaluated against the attack ==\n");
-    let outcomes = evaluate_all();
+    let sweep = SweepSpec::new(
+        "table-defenses",
+        |pt: &SweepPoint<fn() -> DefenseOutcome>| Ok((pt.payload)()),
+    )
+    .points(
+        evaluators()
+            .into_iter()
+            .map(|(name, f)| (name.to_string(), SimConfig::default(), f)),
+    )
+    .jobs_opt(jobs)
+    .run();
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
+    }
+    if sweep.errors().next().is_some() {
+        std::process::exit(1);
+    }
+    let outcomes: Vec<DefenseOutcome> = sweep.ok().map(|(_, o)| o.clone()).collect();
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {

@@ -99,7 +99,8 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 ///
 /// When either is set the binary enables the cross-layer probe, runs the
 /// attack, and writes the Chrome trace-event JSON (Perfetto-loadable) and/or
-/// the JSONL metric dump of the resulting [`AttackReport`].
+/// the JSONL metric dump of the resulting
+/// [`AttackReport`](microscope_core::AttackReport).
 #[derive(Clone, Debug, Default)]
 pub struct ExportFlags {
     /// Destination for the Chrome-trace JSON (`--trace-out PATH`).
@@ -108,41 +109,125 @@ pub struct ExportFlags {
     pub metrics_out: Option<std::path::PathBuf>,
 }
 
-fn require_value(v: Option<String>, flag: &str) -> String {
-    v.unwrap_or_else(|| {
-        eprintln!("error: {flag} requires a PATH argument");
+/// A command-line parsing failure, reported by the library and turned
+/// into an exit code by the binary (library code never calls
+/// `process::exit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag that requires a value was last on the line or followed by
+    /// another flag.
+    MissingValue {
+        /// The flag missing its value.
+        flag: String,
+    },
+    /// A flag's value did not parse.
+    InvalidValue {
+        /// The offending flag.
+        flag: String,
+        /// What was given.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => {
+                write!(f, "{flag} requires a value (none followed it)")
+            }
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} got {value:?}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Writing an export artifact failed.
+#[derive(Debug)]
+pub struct ExportError {
+    /// The destination that could not be written.
+    pub path: std::path::PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Unwraps a parse result or exits with code 2 and the error on stderr —
+/// the *binaries'* policy for [`ArgError`], kept out of the parsing code.
+pub fn parse_or_exit<T>(result: Result<T, ArgError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(2);
     })
 }
 
-fn write_or_die(path: &std::path::Path, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+/// Pulls one valued flag (`--flag V` or `--flag=V`) out of `args`,
+/// removing it. A following `--`-prefixed token or end-of-args is a
+/// [`ArgError::MissingValue`], not a silent swallow.
+pub fn extract_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ArgError> {
+    let prefix = format!("{flag}=");
+    let mut found = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            args.remove(i);
+            if i >= args.len() || args[i].starts_with("--") {
+                return Err(ArgError::MissingValue { flag: flag.into() });
+            }
+            found = Some(args.remove(i));
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
+            found = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(found)
+}
+
+/// Extracts `--jobs N` / `--jobs=N` (the sweep worker count). `None`
+/// means the flag was absent and the sweep default (available
+/// parallelism) applies.
+pub fn extract_jobs(args: &mut Vec<String>) -> Result<Option<usize>, ArgError> {
+    match extract_flag_value(args, "--jobs")? {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(ArgError::InvalidValue {
+                flag: "--jobs".into(),
+                value: v,
+                expected: "a worker count >= 1",
+            }),
+        },
     }
 }
 
 impl ExportFlags {
     /// Extracts the export flags from `args` (removing them), leaving
-    /// unrelated arguments for the binary's own parser.
-    pub fn extract(args: &mut Vec<String>) -> ExportFlags {
-        let mut flags = ExportFlags::default();
-        let mut rest = Vec::with_capacity(args.len());
-        let mut it = args.drain(..);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--trace-out" => {
-                    flags.trace_out = Some(require_value(it.next(), "--trace-out").into());
-                }
-                "--metrics-out" => {
-                    flags.metrics_out = Some(require_value(it.next(), "--metrics-out").into());
-                }
-                _ => rest.push(a),
-            }
-        }
-        drop(it);
-        *args = rest;
-        flags
+    /// unrelated arguments for the binary's own parser. A dangling
+    /// `--trace-out`/`--metrics-out` with no PATH is an error.
+    pub fn extract(args: &mut Vec<String>) -> Result<ExportFlags, ArgError> {
+        Ok(ExportFlags {
+            trace_out: extract_flag_value(args, "--trace-out")?.map(Into::into),
+            metrics_out: extract_flag_value(args, "--metrics-out")?.map(Into::into),
+        })
     }
 
     /// Whether any export was requested (tracing must then be enabled).
@@ -158,10 +243,26 @@ impl ExportFlags {
     }
 
     /// Writes the report's trace and metrics to the requested paths.
-    pub fn export(&self, report: &microscope_core::AttackReport) {
+    pub fn export(&self, report: &microscope_core::AttackReport) -> Result<(), ExportError> {
+        self.export_with(report, &microscope_probe::MetricSet::new())
+    }
+
+    /// Like [`export`](Self::export), but merges `extra` metrics (e.g. a
+    /// sweep's aggregated registry) into the metric dump.
+    pub fn export_with(
+        &self,
+        report: &microscope_core::AttackReport,
+        extra: &microscope_probe::MetricSet,
+    ) -> Result<(), ExportError> {
+        let write = |path: &std::path::Path, contents: &str| {
+            std::fs::write(path, contents).map_err(|source| ExportError {
+                path: path.to_path_buf(),
+                source,
+            })
+        };
         if let Some(path) = &self.trace_out {
             let json = microscope_probe::export::chrome_trace(&report.trace);
-            write_or_die(path, &json);
+            write(path, &json)?;
             println!(
                 "wrote {} trace events ({} dropped) to {}",
                 report.trace.len(),
@@ -170,13 +271,20 @@ impl ExportFlags {
             );
         }
         if let Some(path) = &self.metrics_out {
-            write_or_die(path, &report.metrics.to_jsonl());
-            println!(
-                "wrote {} metrics to {}",
-                report.metrics.len(),
-                path.display()
-            );
+            let mut metrics = report.metrics.clone();
+            metrics.merge(extra);
+            write(path, &metrics.to_jsonl())?;
+            println!("wrote {} metrics to {}", metrics.len(), path.display());
         }
+        Ok(())
+    }
+}
+
+/// Unwraps an export result or exits with code 1 and the error on stderr.
+pub fn export_or_exit(result: Result<(), ExportError>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -214,5 +322,63 @@ mod tests {
     fn shape_check_reports() {
         assert!(shape_check("t", true, "d"));
         assert!(!shape_check("t", false, "d"));
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn export_flags_extract_both_forms_and_leave_the_rest() {
+        let mut a = args(&[
+            "--samples",
+            "9",
+            "--trace-out",
+            "t.json",
+            "--metrics-out=m.jsonl",
+        ]);
+        let flags = ExportFlags::extract(&mut a).expect("well-formed flags");
+        assert_eq!(
+            flags.trace_out.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        assert_eq!(
+            flags.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert!(flags.active());
+        assert_eq!(a, args(&["--samples", "9"]));
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error_not_an_exit() {
+        let mut a = args(&["--trace-out"]);
+        let err = ExportFlags::extract(&mut a).expect_err("dangling flag rejected");
+        assert_eq!(
+            err,
+            ArgError::MissingValue {
+                flag: "--trace-out".into()
+            }
+        );
+        // A following flag must not be swallowed as the value either.
+        let mut a = args(&["--metrics-out", "--jobs", "2"]);
+        assert!(ExportFlags::extract(&mut a).is_err());
+        assert!(err.to_string().contains("--trace-out"));
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_validates() {
+        let mut a = args(&["--jobs", "4", "x"]);
+        assert_eq!(extract_jobs(&mut a), Ok(Some(4)));
+        assert_eq!(a, args(&["x"]));
+        let mut a = args(&["--jobs=2"]);
+        assert_eq!(extract_jobs(&mut a), Ok(Some(2)));
+        let mut a = args(&[]);
+        assert_eq!(extract_jobs(&mut a), Ok(None));
+        let mut a = args(&["--jobs", "0"]);
+        assert!(extract_jobs(&mut a).is_err());
+        let mut a = args(&["--jobs", "many"]);
+        let err = extract_jobs(&mut a).expect_err("non-numeric rejected");
+        assert!(err.to_string().contains("worker count"));
     }
 }

@@ -17,7 +17,7 @@ pub const PAGE_BYTES: u64 = 4096;
 /// A physical byte address.
 ///
 /// The simulated machine uses a flat physical address space allocated by
-/// [`microscope-mem`]'s physical memory. `PAddr` is a passive value type with
+/// `microscope-mem`'s physical memory. `PAddr` is a passive value type with
 /// a public field, in the spirit of C structs.
 ///
 /// ```

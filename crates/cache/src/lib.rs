@@ -18,7 +18,7 @@
 //!    fills at execute time.
 //!
 //! The crate is self-contained (physical addresses only) so that the memory
-//! subsystem ([`microscope-mem`]) and CPU ([`microscope-cpu`]) crates can be
+//! subsystem (`microscope-mem`) and CPU (`microscope-cpu`) crates can be
 //! layered on top.
 //!
 //! # Example

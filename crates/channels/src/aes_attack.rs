@@ -7,8 +7,7 @@
 //! pivot walks the attack through the decryption quarter-round by
 //! quarter-round — single-stepping one logical AES run.
 
-use microscope_cache::HierarchyConfig;
-use microscope_core::{denoise, AttackReport, SessionBuilder};
+use microscope_core::{denoise, AttackReport, SessionBuilder, SimConfig};
 use microscope_cpu::ContextId;
 use microscope_mem::VAddr;
 use microscope_os::{Observation, WalkTuning};
@@ -37,9 +36,9 @@ pub struct AesAttackConfig {
     pub handler_cycles: u64,
     /// Cycle budget.
     pub max_cycles: u64,
-    /// Cache-hierarchy override (e.g. a small L1 so earlier rounds age
+    /// Hardware configuration (e.g. a small L1 so earlier rounds age
     /// into L2/L3, reproducing Figure 11's multi-level Replay-0 mixture).
-    pub hier: Option<HierarchyConfig>,
+    pub sim: SimConfig,
     /// Cross-layer trace configuration (None = tracing off).
     pub probe: Option<microscope_probe::RecorderConfig>,
 }
@@ -56,7 +55,7 @@ impl Default for AesAttackConfig {
             defer_arm: None,
             handler_cycles: 800,
             max_cycles: 80_000_000,
-            hier: None,
+            sim: SimConfig::default(),
             probe: None,
         }
     }
@@ -130,9 +129,7 @@ pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
     let (_, ground_truth) = aes::decrypt_block_traced(&cfg.key, cfg.size, &cfg.block);
     let expected_plain = aes::decrypt_block(&cfg.key, cfg.size, &cfg.block);
     let mut b = SessionBuilder::new();
-    if let Some(h) = cfg.hier {
-        b.hierarchy(h);
-    }
+    b.sim(cfg.sim);
     if let Some(p) = cfg.probe {
         b.probe(p);
     }
@@ -164,7 +161,7 @@ pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
     if let Some(retires) = cfg.defer_arm {
         b.defer_arm(retires);
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("aes session has a victim installed");
     let report = session.run(cfg.max_cycles);
     let out = aes::read_output(&session.machine().hw().phys, aspace, &layout);
     AesAttackOutcome {

@@ -103,7 +103,7 @@ pub fn run(cfg: &ModExpAttackConfig) -> ModExpAttackOutcome {
         recipe.walk = WalkTuning::Length { levels: 2 };
         recipe.prime_between_replays = true;
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("modexp session has a victim");
     let report = session.run(cfg.max_cycles);
     let result = session.machine().read_virt(ContextId(0), layout.result, 8);
     let expected = modexp::modexp_reference(cfg.base, cfg.exponent, cfg.modulus, cfg.bits);

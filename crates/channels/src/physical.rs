@@ -44,7 +44,7 @@ fn per_replay_div_occupancy(secret: bool, replays: u64) -> f64 {
         .provide_replay_handle(ContextId(0), layout.handle);
     b.module().recipe_mut(id).replays_per_step = replays;
     b.module().recipe_mut(id).handler_cycles = 300;
-    let mut session = b.build();
+    let mut session = b.build().expect("power-channel session has a victim");
     let report = session.run(30_000_000);
     assert_eq!(report.replays(), replays);
     // Divider issues × latency ≈ energy the divider consumed.

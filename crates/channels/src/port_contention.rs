@@ -148,13 +148,15 @@ pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
         recipe.walk = cfg.walk;
         recipe.handler_cycles = cfg.handler_cycles;
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("port-contention session has a victim");
     if let Some(every) = cfg.ambient_interrupt_retires {
         session
             .machine_mut()
             .set_step_interrupt(microscope_cpu::ContextId(1), Some(every));
     }
-    session.run_until_monitor_done(cfg.max_cycles)
+    session
+        .run_until_monitor_done(cfg.max_cycles)
+        .expect("port-contention session has a monitor")
 }
 
 /// The Figure-10 analysis: calibrate a threshold on the multiplication

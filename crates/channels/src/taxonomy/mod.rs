@@ -104,6 +104,16 @@ pub struct Measurement {
     pub samples_per_run: u64,
 }
 
+impl microscope_core::sweep::SweepRecord for Measurement {
+    fn notes(&self) -> microscope_probe::MetricSet {
+        let mut m = microscope_probe::MetricSet::new();
+        m.set_gauge("single_trace_accuracy", self.single_trace_accuracy);
+        m.set_count("trials", u64::from(self.trials));
+        m.set_count("samples_per_run", self.samples_per_run);
+        m
+    }
+}
+
 /// The full Table-1 catalog.
 pub fn catalog() -> Vec<ChannelRow> {
     vec![

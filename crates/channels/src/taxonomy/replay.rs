@@ -69,11 +69,13 @@ fn one_shot_samples(secret: bool, jitter: u64) -> Vec<u64> {
         port_contention::monitor_program(b.phys(), monitor_asp, VAddr(0x2000_0000), samples);
     b.victim(victim_prog, victim_asp);
     b.monitor(monitor_prog, monitor_asp, Some(buffer));
-    let mut session = b.build();
+    let mut session = b.build().expect("one-shot session has a victim");
     session
         .machine_mut()
         .set_step_interrupt(microscope_cpu::ContextId(1), Some(2_000 + jitter % 400));
-    let report = session.run_until_monitor_done(20_000_000);
+    let report = session
+        .run_until_monitor_done(20_000_000)
+        .expect("one-shot session has a monitor");
     report.monitor_samples
 }
 

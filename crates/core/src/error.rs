@@ -1,0 +1,69 @@
+//! Error types for session assembly and execution.
+//!
+//! Library code never calls `panic!`/`expect` on caller mistakes: a
+//! missing victim or monitor is an ordinary [`Result`] the embedding
+//! binary (or sweep worker) decides how to surface.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why [`SessionBuilder::build`](crate::SessionBuilder::build) refused to
+/// assemble a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No victim program was installed
+    /// ([`SessionBuilder::victim`](crate::SessionBuilder::victim) was
+    /// never called) — there is nothing to attack.
+    NoVictim,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoVictim => {
+                write!(
+                    f,
+                    "session has no victim (call SessionBuilder::victim first)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Why a run method on [`AttackSession`](crate::AttackSession) could not
+/// proceed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// `run_until_monitor_done` needs a monitor context, but none was
+    /// installed via
+    /// [`SessionBuilder::monitor`](crate::SessionBuilder::monitor).
+    NoMonitor,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NoMonitor => {
+                write!(
+                    f,
+                    "no monitor installed (call SessionBuilder::monitor first)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        assert!(BuildError::NoVictim.to_string().contains("victim"));
+        assert!(RunError::NoMonitor.to_string().contains("monitor"));
+    }
+}

@@ -22,9 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 pub mod denoise;
+mod error;
 mod report;
 mod session;
+pub mod sweep;
 
+pub use config::SimConfig;
+pub use error::{BuildError, RunError};
 pub use report::{AttackReport, ReplayAnalytics, ReportSnapshot};
 pub use session::{AttackSession, MonitorBuffer, SessionBuilder};

@@ -1,5 +1,7 @@
 //! Attack-session assembly and execution.
 
+use crate::config::SimConfig;
+use crate::error::{BuildError, RunError};
 use crate::report::AttackReport;
 use microscope_cache::HierarchyConfig;
 use microscope_cpu::{ContextId, CoreConfig, Machine, MachineBuilder, Program, RunExit};
@@ -21,10 +23,7 @@ pub struct MonitorBuffer {
 /// Builds an [`AttackSession`] out of a victim, an optional monitor, and a
 /// MicroScope module configured with attack recipes.
 pub struct SessionBuilder {
-    core: CoreConfig,
-    hier: HierarchyConfig,
-    tlb: TlbHierarchyConfig,
-    walker: WalkerConfig,
+    sim: SimConfig,
     phys: PhysMem,
     victim: Option<(Program, AddressSpace)>,
     victim_enclave: Option<EnclaveRegion>,
@@ -44,10 +43,7 @@ impl SessionBuilder {
     /// Starts an empty session with default hardware configuration.
     pub fn new() -> Self {
         SessionBuilder {
-            core: CoreConfig::default(),
-            hier: HierarchyConfig::default(),
-            tlb: TlbHierarchyConfig::default(),
-            walker: WalkerConfig::default(),
+            sim: SimConfig::default(),
             phys: PhysMem::new(),
             victim: None,
             victim_enclave: None,
@@ -98,27 +94,46 @@ impl SessionBuilder {
         &mut self.module
     }
 
+    /// Sets the whole hardware configuration in one call — the unit a
+    /// [`SweepSpec`](crate::sweep::SweepSpec) grid is made of.
+    pub fn sim(&mut self, cfg: SimConfig) -> &mut Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// The current hardware configuration, for targeted adjustment.
+    pub fn sim_mut(&mut self) -> &mut SimConfig {
+        &mut self.sim
+    }
+
     /// Overrides the core configuration.
+    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { core, .. })` instead")]
     pub fn core_config(&mut self, cfg: CoreConfig) -> &mut Self {
-        self.core = cfg;
+        self.sim.core = cfg;
         self
     }
 
     /// Overrides the cache-hierarchy configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `sim(SimConfig { hierarchy, .. })` instead"
+    )]
     pub fn hierarchy(&mut self, cfg: HierarchyConfig) -> &mut Self {
-        self.hier = cfg;
+        self.sim.hierarchy = cfg;
         self
     }
 
     /// Overrides the TLB configuration.
+    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { tlb, .. })` instead")]
     pub fn tlb(&mut self, cfg: TlbHierarchyConfig) -> &mut Self {
-        self.tlb = cfg;
+        self.sim.tlb = cfg;
         self
     }
 
     /// Overrides the walker configuration.
+    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { walker, .. })` instead")]
     pub fn walker(&mut self, cfg: WalkerConfig) -> &mut Self {
-        self.walker = cfg;
+        self.sim.walker = cfg;
         self
     }
 
@@ -140,21 +155,19 @@ impl SessionBuilder {
 
     /// Assembles the machine, arms the module, installs the kernel.
     ///
-    /// # Panics
-    ///
-    /// Panics if no victim was installed.
-    pub fn build(self) -> AttackSession {
-        let (victim_prog, victim_asp) = self.victim.expect("session needs a victim");
+    /// Fails with [`BuildError::NoVictim`] when no victim was installed.
+    pub fn build(self) -> Result<AttackSession, BuildError> {
+        let (victim_prog, victim_asp) = self.victim.ok_or(BuildError::NoVictim)?;
         let shared = self.module.shared();
         let probe = Probe::new(self.probe.unwrap_or(RecorderConfig {
-            enabled: self.core.trace,
+            enabled: self.sim.core.trace,
             capacity: 200_000,
         }));
         let mut mb = MachineBuilder::new()
-            .core_config(self.core)
-            .hierarchy(self.hier)
-            .tlb(self.tlb)
-            .walker(self.walker)
+            .core_config(self.sim.core)
+            .hierarchy(self.sim.hierarchy)
+            .tlb(self.sim.tlb)
+            .walker(self.sim.walker)
             .phys(self.phys)
             .probe(probe.clone())
             .context_in(victim_prog.clone(), victim_asp);
@@ -195,13 +208,13 @@ impl SessionBuilder {
             kernel.arm_on_interrupt(ContextId(0));
         }
         machine.replace_supervisor(Box::new(kernel));
-        AttackSession {
+        Ok(AttackSession {
             machine,
             shared,
             monitor_ctx,
             monitor_buf,
             probe,
-        }
+        })
     }
 }
 
@@ -247,9 +260,10 @@ impl AttackSession {
     }
 
     /// Runs until the monitor halts (useful when the victim spins forever
-    /// under replay), then reports.
-    pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> AttackReport {
-        let ctx = self.monitor_ctx.expect("no monitor installed");
+    /// under replay), then reports. Fails with [`RunError::NoMonitor`]
+    /// when the session has no monitor context.
+    pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor)?;
         self.emit_session_start();
         let done = self
             .machine
@@ -262,7 +276,7 @@ impl AttackSession {
             RunExit::MaxCycles
         };
         self.emit_run_end(exit);
-        self.report(exit)
+        Ok(self.report(exit))
     }
 
     fn emit_session_start(&self) {

@@ -23,7 +23,7 @@ impl Default for DivLatency {
 }
 
 /// Static configuration of one simulated core (both SMT contexts share it).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Reorder-buffer capacity per hardware context. The speculation window
     /// can never exceed this many instructions (paper §4.1.4 step 3:

@@ -1,7 +1,7 @@
 //! Fences on pipeline flushes, and the RDRAND fence (paper §8 / §7.2).
 
 use crate::DefenseOutcome;
-use microscope_core::SessionBuilder;
+use microscope_core::{SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, CoreConfig, Reg};
 use microscope_mem::VAddr;
 use microscope_victims::layout::DataLayout;
@@ -31,14 +31,14 @@ fn leak_victim(b: &mut SessionBuilder) -> (microscope_cpu::Program, VAddr, VAddr
 /// sample).
 fn transmit_executions(fence_after_flush: bool, replays: u64) -> u64 {
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         fence_after_pipeline_flush: fence_after_flush,
         ..CoreConfig::default()
-    });
+    }));
     let (_, handle, _) = leak_victim(&mut b);
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     b.module().recipe_mut(id).replays_per_step = replays;
-    let mut session = b.build();
+    let mut session = b.build().expect("fence-eval session has a victim");
     let report = session.run(50_000_000);
     let stats = report.stats.contexts[0];
     // handle executions = faults + the final successful one.

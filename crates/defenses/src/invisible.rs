@@ -8,7 +8,7 @@
 
 use crate::DefenseOutcome;
 use microscope_channels::port_contention::{self, PortContentionConfig};
-use microscope_core::{denoise, SessionBuilder};
+use microscope_core::{denoise, SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, CoreConfig, Reg};
 use microscope_mem::{VAddr, LINE_BYTES};
 use microscope_os::WalkTuning;
@@ -21,10 +21,10 @@ pub fn cache_leak_observations(invisible: bool, secret: u64, replays: u64) -> u6
     let table_lines = 8u64;
     assert!(secret < table_lines);
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         invisible_speculation: invisible,
         ..CoreConfig::default()
-    });
+    }));
     let aspace = b.new_aspace(1);
     let mut layout = DataLayout::new(b.phys(), aspace, VAddr(0x1000_0000));
     let handle = layout.page(64);
@@ -46,7 +46,7 @@ pub fn cache_leak_observations(invisible: bool, secret: u64, replays: u64) -> u6
             recipe.monitor_addrs.push(table.offset(l * LINE_BYTES));
         }
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("invisible-spec session has a victim");
     let report = session.run(20_000_000);
     let secret_line = table.offset(secret * LINE_BYTES);
     report
@@ -100,10 +100,10 @@ pub fn evaluate_port_channel() -> DefenseOutcome {
 
 fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig) -> Vec<u64> {
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         invisible_speculation: invisible,
         ..CoreConfig::default()
-    });
+    }));
     let victim_asp = b.new_aspace(1);
     let monitor_asp = b.new_aspace(2);
     let (victim_prog, victim_layout) =
@@ -121,9 +121,10 @@ fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig)
         recipe.walk = cfg.walk;
         recipe.handler_cycles = cfg.handler_cycles;
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("invisible-spec session has a victim");
     session
         .run_until_monitor_done(cfg.max_cycles)
+        .expect("invisible-spec session has a monitor")
         .monitor_samples
 }
 

@@ -46,15 +46,34 @@ impl DefenseOutcome {
     }
 }
 
+impl microscope_core::sweep::SweepRecord for DefenseOutcome {
+    fn notes(&self) -> microscope_probe::MetricSet {
+        let mut m = microscope_probe::MetricSet::new();
+        m.set_count("leak_undefended", self.leak_undefended);
+        m.set_count("leak_defended", self.leak_defended);
+        m.set_count("effective", u64::from(self.effective));
+        m
+    }
+}
+
+/// One defense evaluation, runnable as a sweep point.
+pub type DefenseEvaluator = fn() -> DefenseOutcome;
+
+/// The defense evaluators in Table order: `(name, evaluator)` pairs a
+/// sweep grid can fan out over.
+pub fn evaluators() -> Vec<(&'static str, DefenseEvaluator)> {
+    vec![
+        ("pipeline-fence", || fences::evaluate_pipeline_fence()),
+        ("rdrand-fence", || fences::evaluate_rdrand_fence()),
+        ("t-sgx", || tsgx::evaluate(10)),
+        ("dejavu", || dejavu::evaluate()),
+        ("pf-oblivious", || pf_oblivious::evaluate()),
+        ("invisible-cache", || invisible::evaluate_cache_channel()),
+        ("invisible-port", || invisible::evaluate_port_channel()),
+    ]
+}
+
 /// Runs every defense evaluation (used by the `table_defenses` harness).
 pub fn evaluate_all() -> Vec<DefenseOutcome> {
-    vec![
-        fences::evaluate_pipeline_fence(),
-        fences::evaluate_rdrand_fence(),
-        tsgx::evaluate(10),
-        dejavu::evaluate(),
-        pf_oblivious::evaluate(),
-        invisible::evaluate_cache_channel(),
-        invisible::evaluate_port_channel(),
-    ]
+    evaluators().into_iter().map(|(_, f)| f()).collect()
 }

@@ -103,7 +103,7 @@ pub fn attack_protected_victim(n: u64) -> TsgxAttackResult {
     // The attacker arms the handle; it will never see the faults.
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     b.module().recipe_mut(id).replays_per_step = u64::MAX;
-    let mut session = b.build();
+    let mut session = b.build().expect("tsgx session has a victim");
     let report = session.run(50_000_000);
     let stats = report.stats.contexts[0];
     TsgxAttackResult {
@@ -133,7 +133,7 @@ pub fn evaluate(n: u64) -> DefenseOutcome {
         b.victim(asm.finish(), aspace);
         let id = b.module().provide_replay_handle(ContextId(0), handle);
         b.module().recipe_mut(id).replays_per_step = 50;
-        let mut session = b.build();
+        let mut session = b.build().expect("tsgx baseline session has a victim");
         let report = session.run(50_000_000);
         let stats = report.stats.contexts[0];
         stats.loads_executed - (stats.page_faults + 1)

@@ -22,7 +22,7 @@ use microscope_cache::{MemoryHierarchy, PAddr, PageWalkCache, PwcConfig, PAGE_BY
 use microscope_probe::{EventKind, Probe};
 
 /// Configuration of the hardware walker.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkerConfig {
     /// Page-walk cache geometry.
     pub pwc: PwcConfig,

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use microscope::core::SessionBuilder;
+use microscope::core::{SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig, TraceKind};
 use microscope::enclave::EnclaveRegion;
 use microscope::mem::VAddr;
@@ -18,10 +18,10 @@ fn main() {
     //    SGX-style enclave, so the OS sees faults at page granularity only.
     // ------------------------------------------------------------------
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         trace: true,
         ..CoreConfig::default()
-    });
+    }));
     let aspace = b.new_aspace(1);
     let secrets = single_secret::secrets_with_subnormal(16, 5);
     let (prog, layout) =
@@ -40,7 +40,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Run and inspect.
     // ------------------------------------------------------------------
-    let mut session = b.build();
+    let mut session = b.build().expect("quickstart installs a victim");
     let report = session.run(10_000_000);
 
     println!("== MicroScope quickstart ==");

@@ -8,10 +8,18 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== sweep smoke: ablate_walk --jobs 2 =="
+# A 5-point sweep fanned over 2 workers; exercises the parallel engine and
+# the shape checks end-to-end in well under a second.
+cargo run -q --release -p microscope-bench --bin ablate_walk -- --jobs 2
 
 echo "CI OK"

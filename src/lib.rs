@@ -42,7 +42,7 @@
 //! let id = b.module().provide_replay_handle(ContextId(0), layout.count);
 //! b.module().recipe_mut(id).replays_per_step = 10;
 //!
-//! let mut session = b.build();
+//! let mut session = b.build().expect("a victim is installed");
 //! let report = session.run(10_000_000);
 //! assert_eq!(report.replays(), 10);
 //! ```

@@ -29,7 +29,7 @@ fn all_five_table2_operations_drive_a_working_attack() {
         recipe.max_steps = secrets.len() as u64;
         recipe.prime_between_replays = true;
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("table2 session has a victim");
     let report = session.run(50_000_000);
 
     // The attack stepped through the loop via the pivot...

@@ -1,7 +1,7 @@
 //! Cross-layer observability: the probe's event stream, the Fig.-3 phase
 //! reconstruction, the exporters, and the per-replay analytics.
 
-use microscope::core::{AttackReport, SessionBuilder};
+use microscope::core::{AttackReport, SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig};
 use microscope::mem::VAddr;
 use microscope::probe::timeline::{reconstruct, Phase};
@@ -13,10 +13,10 @@ use proptest::prelude::*;
 /// every replay so observations (denoising samples) accumulate.
 fn traced_attack(replays: u64) -> AttackReport {
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         trace: true,
         ..CoreConfig::default()
-    });
+    }));
     let aspace = b.new_aspace(1);
     let secrets: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
     let (prog, layout) =
@@ -25,7 +25,7 @@ fn traced_attack(replays: u64) -> AttackReport {
     let id = b.module().provide_replay_handle(ContextId(0), layout.count);
     b.module().provide_monitor_addr(id, layout.secrets);
     b.module().recipe_mut(id).replays_per_step = replays;
-    let mut session = b.build();
+    let mut session = b.build().expect("observability session has a victim");
     session.run(10_000_000)
 }
 

@@ -91,7 +91,7 @@ fn run(ops: &[Op], handle_pos: usize, replays: u64) -> (Vec<u64>, Vec<u64>) {
         let id = b.module().provide_replay_handle(ContextId(0), handle);
         b.module().recipe_mut(id).replays_per_step = replays;
     }
-    let mut session = b.build();
+    let mut session = b.build().expect("idempotence session has a victim");
     let report = session.run(80_000_000);
     assert!(
         session.machine().context(ContextId(0)).halted(),

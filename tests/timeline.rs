@@ -1,6 +1,6 @@
 //! Figure-3 timeline structure and the enclave information boundary.
 
-use microscope::core::SessionBuilder;
+use microscope::core::{SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig, TraceKind};
 use microscope::enclave::EnclaveRegion;
 use microscope::mem::VAddr;
@@ -8,10 +8,10 @@ use microscope::victims::single_secret;
 
 fn attacked_session(replays: u64, enclave: bool) -> microscope::core::AttackSession {
     let mut b = SessionBuilder::new();
-    b.core_config(CoreConfig {
+    b.sim(SimConfig::new().with_core(CoreConfig {
         trace: true,
         ..CoreConfig::default()
-    });
+    }));
     let aspace = b.new_aspace(1);
     let secrets: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
     let (prog, layout) =
@@ -22,7 +22,7 @@ fn attacked_session(replays: u64, enclave: bool) -> microscope::core::AttackSess
     }
     let id = b.module().provide_replay_handle(ContextId(0), layout.count);
     b.module().recipe_mut(id).replays_per_step = replays;
-    b.build()
+    b.build().expect("timeline session has a victim")
 }
 
 #[test]
