@@ -1,0 +1,40 @@
+//! # microscope-analyze — static replay-handle & secret-taint analysis
+//!
+//! MicroScope (ISCA 2019) turns any faultable instruction into a *replay
+//! handle*: the malicious OS keeps the page non-present, the pipeline
+//! squashes and re-executes everything in the handle's shadow, and a
+//! secret-dependent *transmitter* in that shadow leaks through the cache
+//! or the fp divider ports on every replay. This crate answers the
+//! attacker's (and the defender's) planning question **statically**,
+//! before a single simulated cycle runs:
+//!
+//! 1. [`mod@cfg`] builds a control-flow graph over a
+//!    [`Program`](microscope_cpu::Program) with dominator and
+//!    post-dominator sets.
+//! 2. [`taint`] runs a register + memory taint dataflow from the victim's
+//!    declared [`SecretMap`](microscope_victims::SecretMap) sources.
+//! 3. [`plan`] classifies transmitters (secret-dependent load addresses,
+//!    `divsd` operands, branches), enumerates replay-handle candidates
+//!    (page-faultable accesses per PTE flags, TSX regions, mispredictable
+//!    branches), and intersects the two with the speculation-window
+//!    reachability rule (ROB size, fences) into an [`AnalysisReport`] of
+//!    concrete `(handle, transmitter, channel)` [`AttackPlan`]s.
+//! 4. [`validate`] cross-checks: a predicted plan is driven through a real
+//!    [`AttackSession`](microscope_core::AttackSession) and confirmed only
+//!    if the simulator's probe stream shows the transmitter issuing again
+//!    under replay.
+//!
+//! The same machinery runs in *defense audit* mode: re-analyzing a
+//! fence-hardened program (see `microscope_defenses::fences`) must yield
+//! zero open plans, and the simulator must agree that the transmitter no
+//! longer replays.
+
+pub mod cfg;
+pub mod plan;
+pub mod taint;
+pub mod validate;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use plan::{analyze, AnalysisReport, AttackPlan, Channel, Handle, HandleKind, Transmitter};
+pub use taint::{AbsVal, MemTaint, RegState, TaintResult, Value};
+pub use validate::{baseline_executions, validate_plan, PlanValidation, ValidateError};

@@ -1,0 +1,499 @@
+//! Register + memory taint dataflow seeded from a victim's
+//! [`SecretMap`].
+//!
+//! The per-register lattice is the product of a constant-propagation
+//! value lattice (`Const(v)` ⊑ `Unknown`) and a boolean taint bit. The
+//! value half exists for one purpose: resolving memory addresses
+//! statically, so a load from a constant address can be checked against
+//! the declared secret regions (and the page tables, for replay-handle
+//! enumeration). Memory taint is tracked flow-insensitively as a
+//! monotonically growing set of byte ranges — sound, and precise enough
+//! for the victims at hand.
+//!
+//! Soundness bias: everything errs toward *more* taint (unknown-address
+//! loads are tainted whenever any secret memory exists; unknown-address
+//! stores of tainted data taint all of memory; memory is never
+//! untainted). The property test in `tests/analyze_soundness.rs` checks
+//! the direction the attack cares about: no transmitter the simulator
+//! replays is missing from the static report.
+
+use crate::cfg::Cfg;
+use microscope_cpu::{Inst, Program, Reg};
+use microscope_mem::VAddr;
+use microscope_victims::SecretMap;
+
+/// The constant-propagation half of the lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Known constant.
+    Const(u64),
+    /// Anything.
+    Unknown,
+}
+
+impl Value {
+    fn join(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Const(a), Value::Const(b)) if a == b => Value::Const(a),
+            _ => Value::Unknown,
+        }
+    }
+
+    /// The constant, if known.
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            Value::Const(v) => Some(v),
+            Value::Unknown => None,
+        }
+    }
+}
+
+/// One register's abstract state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Constant-propagation value.
+    pub value: Value,
+    /// Whether the value may carry secret data.
+    pub tainted: bool,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            value: self.value.join(other.value),
+            tainted: self.tainted || other.tainted,
+        }
+    }
+}
+
+/// The abstract register file at one program point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegState {
+    regs: [AbsVal; Reg::COUNT],
+}
+
+impl RegState {
+    fn entry(secrets: &SecretMap) -> RegState {
+        let mut s = RegState {
+            // Architectural registers start zeroed.
+            regs: [AbsVal {
+                value: Value::Const(0),
+                tainted: false,
+            }; Reg::COUNT],
+        };
+        s.apply_sticky(secrets);
+        s
+    }
+
+    fn join(&self, other: &RegState) -> RegState {
+        let mut out = self.clone();
+        for i in 0..Reg::COUNT {
+            out.regs[i] = out.regs[i].join(other.regs[i]);
+        }
+        out
+    }
+
+    fn apply_sticky(&mut self, secrets: &SecretMap) {
+        for r in secrets.sticky_regs() {
+            self.regs[r.index()].tainted = true;
+        }
+    }
+
+    /// The abstract state of `reg`.
+    pub fn get(&self, reg: Reg) -> AbsVal {
+        self.regs[reg.index()]
+    }
+
+    fn set(&mut self, reg: Reg, v: AbsVal) {
+        self.regs[reg.index()] = v;
+    }
+
+    /// The statically resolved address of a `base + offset` memory
+    /// reference, when the base is a known constant.
+    pub fn resolve_addr(&self, base: Reg, offset: i64) -> Option<VAddr> {
+        self.get(base)
+            .value
+            .as_const()
+            .map(|b| VAddr(b.wrapping_add(offset as u64)))
+    }
+}
+
+/// Flow-insensitive memory taint: secret byte ranges, growing as tainted
+/// stores land.
+#[derive(Clone, Debug, Default)]
+pub struct MemTaint {
+    ranges: Vec<(u64, u64)>,
+    all: bool,
+}
+
+impl MemTaint {
+    fn seeded(secrets: &SecretMap) -> MemTaint {
+        MemTaint {
+            ranges: secrets
+                .regions()
+                .iter()
+                .map(|r| (r.base.0, r.len))
+                .collect(),
+            all: false,
+        }
+    }
+
+    /// Whether a `size`-byte access at `addr` may read tainted memory.
+    pub fn touches(&self, addr: VAddr, size: u64) -> bool {
+        self.all
+            || self
+                .ranges
+                .iter()
+                .any(|&(b, l)| addr.0 < b + l && b < addr.0 + size.max(1))
+    }
+
+    /// Whether any memory at all is tainted.
+    pub fn any(&self) -> bool {
+        self.all || !self.ranges.is_empty()
+    }
+
+    /// Adds a range; returns true if coverage grew.
+    fn insert(&mut self, addr: u64, size: u64) -> bool {
+        if self.all {
+            return false;
+        }
+        // Only skip when an existing single range fully covers the new one.
+        if self
+            .ranges
+            .iter()
+            .any(|&(b, l)| b <= addr && addr + size <= b + l)
+        {
+            return false;
+        }
+        self.ranges.push((addr, size));
+        true
+    }
+
+    fn taint_all(&mut self) -> bool {
+        let grew = !self.all;
+        self.all = true;
+        grew
+    }
+}
+
+/// The result of the taint fixpoint.
+#[derive(Clone, Debug)]
+pub struct TaintResult {
+    /// Register state *before* each pc (`None` for unreachable pcs).
+    pub state_at: Vec<Option<RegState>>,
+    /// Final memory-taint coverage.
+    pub memory: MemTaint,
+}
+
+impl TaintResult {
+    /// The register state before `pc`, if reachable.
+    pub fn before(&self, pc: usize) -> Option<&RegState> {
+        self.state_at.get(pc).and_then(|s| s.as_ref())
+    }
+}
+
+/// Runs the register+memory taint dataflow to fixpoint over the CFG.
+pub fn analyze(program: &Program, cfg: &Cfg, secrets: &SecretMap) -> TaintResult {
+    let n = program.len();
+    let mut state_at: Vec<Option<RegState>> = vec![None; n];
+    let mut memory = MemTaint::seeded(secrets);
+    // Block-entry states; the worklist fixpoint joins over predecessors.
+    let nb = cfg.blocks().len();
+    let mut block_in: Vec<Option<RegState>> = vec![None; nb];
+    block_in[0] = Some(RegState::entry(secrets));
+    loop {
+        let mut work: Vec<usize> = vec![0];
+        let mut mem_grew = false;
+        while let Some(b) = work.pop() {
+            let Some(mut cur) = block_in[b].clone() else {
+                continue;
+            };
+            for pc in cfg.blocks()[b].pcs() {
+                let merged = match &state_at[pc] {
+                    Some(prev) => prev.join(&cur),
+                    None => cur.clone(),
+                };
+                state_at[pc] = Some(merged.clone());
+                cur = merged;
+                mem_grew |= transfer(
+                    program.fetch(pc).expect("pc in range"),
+                    &mut cur,
+                    &mut memory,
+                    secrets,
+                );
+                cur.apply_sticky(secrets);
+            }
+            for &s in &cfg.blocks()[b].succs {
+                if s == cfg.exit() {
+                    continue;
+                }
+                let next = match &block_in[s] {
+                    Some(prev) => {
+                        let j = prev.join(&cur);
+                        if j == *prev {
+                            continue;
+                        }
+                        j
+                    }
+                    None => cur.clone(),
+                };
+                block_in[s] = Some(next);
+                work.push(s);
+            }
+        }
+        // Memory taint grew mid-pass: earlier loads may now read tainted
+        // ranges. Re-run with states reset (memory only grows, so this
+        // terminates).
+        if mem_grew {
+            state_at = vec![None; n];
+            block_in = vec![None; nb];
+            block_in[0] = Some(RegState::entry(secrets));
+        } else {
+            break;
+        }
+    }
+    TaintResult { state_at, memory }
+}
+
+/// One instruction's transfer function. Returns whether memory-taint
+/// coverage grew.
+fn transfer(inst: Inst, s: &mut RegState, memory: &mut MemTaint, secrets: &SecretMap) -> bool {
+    let mut grew = false;
+    match inst {
+        Inst::Imm { dst, value } => s.set(
+            dst,
+            AbsVal {
+                value: Value::Const(value),
+                tainted: false,
+            },
+        ),
+        Inst::Mov { dst, src } => {
+            let v = s.get(src);
+            s.set(dst, v);
+        }
+        Inst::Alu { op, dst, a, b } => {
+            let (va, vb) = (s.get(a), s.get(b));
+            let value = match (va.value.as_const(), vb.value.as_const()) {
+                (Some(x), Some(y)) => Value::Const(op.apply(x, y)),
+                _ => Value::Unknown,
+            };
+            s.set(
+                dst,
+                AbsVal {
+                    value,
+                    tainted: va.tainted || vb.tainted,
+                },
+            );
+        }
+        Inst::AluImm { op, dst, a, imm } => {
+            let va = s.get(a);
+            let value = match va.value.as_const() {
+                Some(x) => Value::Const(op.apply(x, imm)),
+                None => Value::Unknown,
+            };
+            s.set(
+                dst,
+                AbsVal {
+                    value,
+                    tainted: va.tainted,
+                },
+            );
+        }
+        Inst::Mul { dst, a, b } => {
+            let (va, vb) = (s.get(a), s.get(b));
+            let value = match (va.value.as_const(), vb.value.as_const()) {
+                (Some(x), Some(y)) => Value::Const(x.wrapping_mul(y)),
+                _ => Value::Unknown,
+            };
+            s.set(
+                dst,
+                AbsVal {
+                    value,
+                    tainted: va.tainted || vb.tainted,
+                },
+            );
+        }
+        Inst::FOp { op, dst, a, b } => {
+            let (va, vb) = (s.get(a), s.get(b));
+            let value = match (va.value.as_const(), vb.value.as_const()) {
+                (Some(x), Some(y)) => Value::Const(op.apply(x, y)),
+                _ => Value::Unknown,
+            };
+            s.set(
+                dst,
+                AbsVal {
+                    value,
+                    tainted: va.tainted || vb.tainted,
+                },
+            );
+        }
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            size,
+        } => {
+            let vb = s.get(base);
+            let tainted = vb.tainted
+                || match s.resolve_addr(base, offset) {
+                    Some(addr) => memory.touches(addr, u64::from(size)),
+                    // Unknown address: may alias any tainted byte.
+                    None => memory.any(),
+                };
+            s.set(
+                dst,
+                AbsVal {
+                    value: Value::Unknown,
+                    tainted,
+                },
+            );
+        }
+        Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        } => {
+            if s.get(src).tainted {
+                grew = match s.resolve_addr(base, offset) {
+                    Some(addr) => memory.insert(addr.0, u64::from(size)),
+                    None => memory.taint_all(),
+                };
+            }
+        }
+        Inst::ReadTimer { dst, .. } => s.set(
+            dst,
+            AbsVal {
+                value: Value::Unknown,
+                tainted: false,
+            },
+        ),
+        Inst::RdRand { dst } => s.set(
+            dst,
+            AbsVal {
+                value: Value::Unknown,
+                tainted: secrets.rdrand_is_secret(),
+            },
+        ),
+        Inst::XBegin { .. } | Inst::XAbort { .. } => s.set(
+            Reg::TXN_ABORT_CODE,
+            AbsVal {
+                value: Value::Unknown,
+                tainted: false,
+            },
+        ),
+        Inst::Branch { .. }
+        | Inst::Jmp { .. }
+        | Inst::Fence
+        | Inst::XEnd
+        | Inst::Nop
+        | Inst::Halt => {}
+    }
+    grew
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscope_cpu::{AluOp, Assembler, Reg};
+
+    fn run(asm: &mut Assembler, secrets: &SecretMap) -> (Program, TaintResult) {
+        let p = asm.finish();
+        let cfg = Cfg::build(&p);
+        let t = analyze(&p, &cfg, secrets);
+        (p, t)
+    }
+
+    #[test]
+    fn const_address_load_from_secret_region_taints_dst() {
+        let secrets = SecretMap::new().region(VAddr(0x1000), 8, "s");
+        let mut asm = Assembler::new();
+        asm.imm(Reg(1), 0x1000)
+            .load(Reg(2), Reg(1), 0)
+            .imm(Reg(3), 0x9000)
+            .load(Reg(4), Reg(3), 0)
+            .halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert!(last.get(Reg(2)).tainted, "secret load");
+        assert!(!last.get(Reg(4)).tainted, "public load");
+    }
+
+    #[test]
+    fn taint_propagates_through_alu_and_fp() {
+        let secrets = SecretMap::new().region(VAddr(0x1000), 8, "s");
+        let mut asm = Assembler::new();
+        asm.imm(Reg(1), 0x1000)
+            .load(Reg(2), Reg(1), 0)
+            .alu_imm(AluOp::Shl, Reg(3), Reg(2), 6)
+            .fdiv(Reg(4), Reg(3), Reg(2))
+            .halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert!(last.get(Reg(3)).tainted);
+        assert!(last.get(Reg(4)).tainted);
+    }
+
+    #[test]
+    fn sticky_register_survives_overwrites() {
+        let secrets = SecretMap::new().sticky_reg(Reg(4), "exp");
+        let mut asm = Assembler::new();
+        asm.imm(Reg(4), 0b1011)
+            .alu_imm(AluOp::Shr, Reg(5), Reg(4), 1)
+            .halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert!(last.get(Reg(4)).tainted, "imm write does not clear sticky");
+        assert!(last.get(Reg(5)).tainted, "derived value tainted");
+    }
+
+    #[test]
+    fn tainted_store_to_const_address_taints_later_loads() {
+        let secrets = SecretMap::new().region(VAddr(0x1000), 8, "s");
+        let mut asm = Assembler::new();
+        asm.imm(Reg(1), 0x1000)
+            .load(Reg(2), Reg(1), 0) // tainted
+            .imm(Reg(3), 0x5000)
+            .store(Reg(2), Reg(3), 0) // spills secret to 0x5000
+            .load(Reg(4), Reg(3), 0) // reads it back
+            .halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert!(last.get(Reg(4)).tainted, "spilled secret tracked");
+        assert!(t.memory.touches(VAddr(0x5000), 8));
+    }
+
+    #[test]
+    fn constants_fold_for_address_resolution() {
+        let secrets = SecretMap::new();
+        let mut asm = Assembler::new();
+        asm.imm(Reg(1), 0x1000)
+            .alu_imm(AluOp::Add, Reg(2), Reg(1), 0x40)
+            .halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert_eq!(last.get(Reg(2)).value, Value::Const(0x1040));
+        assert_eq!(last.resolve_addr(Reg(2), 8), Some(VAddr(0x1048)));
+    }
+
+    #[test]
+    fn join_loses_conflicting_constants_but_keeps_taint() {
+        let secrets = SecretMap::new().region(VAddr(0x1000), 8, "s");
+        let mut asm = Assembler::new();
+        let other = asm.label();
+        let join = asm.label();
+        asm.imm(Reg(1), 0x1000)
+            .load(Reg(2), Reg(1), 0) // tainted branch condition
+            .branch(microscope_cpu::Cond::Eq, Reg(2), Reg(2), other)
+            .imm(Reg(3), 1)
+            .jmp(join);
+        asm.bind(other);
+        asm.imm(Reg(3), 2);
+        asm.bind(join);
+        asm.halt();
+        let (p, t) = run(&mut asm, &secrets);
+        let last = t.before(p.len() - 1).unwrap();
+        assert_eq!(last.get(Reg(3)).value, Value::Unknown);
+        assert!(last.get(Reg(2)).tainted);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-checks a static [`AttackPlan`] against the cycle-level
+//! simulator: drives the plan's replay handle through an
+//! [`AttackSession`](microscope_core::AttackSession) and counts how many
+//! times the predicted transmitter actually issued in the handle's
+//! shadow.
+
+use crate::plan::{AttackPlan, HandleKind};
+use microscope_core::{BuildError, SessionBuilder};
+use microscope_cpu::ContextId;
+use microscope_mem::VAddr;
+use microscope_probe::RecorderConfig;
+use std::fmt;
+
+/// Why a plan could not be driven through the simulator.
+#[derive(Debug)]
+pub enum ValidateError {
+    /// Only page-fault handles map onto the MicroScope module's
+    /// `provide_replay_handle` recipe; TSX/mispredict handles are
+    /// analysis-only predictions here.
+    UnsupportedHandle(HandleKind),
+    /// The session failed to assemble.
+    Build(BuildError),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnsupportedHandle(k) => {
+                write!(f, "handle kind {k:?} cannot be driven by the replay module")
+            }
+            ValidateError::Build(e) => write!(f, "session build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The measured outcome of replaying one predicted plan.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanValidation {
+    /// The handle pc the plan predicted.
+    pub handle_pc: usize,
+    /// The transmitter pc the plan predicted.
+    pub transmitter_pc: usize,
+    /// How many times the transmitter issued (from the probe's issue
+    /// stream): >1 means it ran again under replay.
+    pub transmitter_executions: u64,
+    /// Replays the module performed on the handle.
+    pub replays: u64,
+    /// Whether the measurement confirms the static prediction: the
+    /// module replayed at least once *and* the transmitter issued at
+    /// least twice (original + replayed shadow).
+    pub confirmed: bool,
+}
+
+impl fmt::Display for PlanValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "handle pc {} -> transmitter pc {}: {} issues over {} replays => {}",
+            self.handle_pc,
+            self.transmitter_pc,
+            self.transmitter_executions,
+            self.replays,
+            if self.confirmed {
+                "CONFIRMED"
+            } else {
+                "not confirmed"
+            }
+        )
+    }
+}
+
+/// Runs `plan` through the simulator. The caller supplies a
+/// [`SessionBuilder`] with the victim (and its memory image) already
+/// installed; this function wires the probe, installs the replay recipe
+/// for the plan's handle, runs for `max_cycles`, and measures the
+/// transmitter's issue count.
+///
+/// A validation bounded at 4 replays per step keeps runs short while
+/// still distinguishing "replayed" (>= 2 issues of the transmitter)
+/// from "executed once normally".
+///
+/// `pivot` enables the §4.2.2 stepwise recipe: when the handle page is
+/// touched more than once before the planned access (AES walks the
+/// round-key page load by load), a pivot on a *different* recurring
+/// page lets the module re-arm the handle after each release, stepping
+/// the fault forward until the planned handle is the one that replays.
+/// Single-access handle pages should pass `None`.
+///
+/// # Errors
+///
+/// [`ValidateError::UnsupportedHandle`] for TSX/mispredict handles,
+/// [`ValidateError::Build`] when the session cannot be assembled.
+pub fn validate_plan(
+    mut builder: SessionBuilder,
+    plan: &AttackPlan,
+    pivot: Option<VAddr>,
+    max_cycles: u64,
+) -> Result<PlanValidation, ValidateError> {
+    let HandleKind::PageFault { vaddr, .. } = plan.handle.kind else {
+        return Err(ValidateError::UnsupportedHandle(plan.handle.kind));
+    };
+    builder.probe(RecorderConfig {
+        enabled: true,
+        capacity: 500_000,
+    });
+    let id = builder.module().provide_replay_handle(ContextId(0), vaddr);
+    {
+        let recipe = builder.module().recipe_mut(id);
+        recipe.replays_per_step = 4;
+        recipe.pivot = pivot;
+        recipe.max_steps = if pivot.is_some() { 64 } else { 1 };
+    }
+    let mut session = builder.build().map_err(ValidateError::Build)?;
+    let report = session.run(max_cycles);
+    let executions = report.executions_of(0, plan.transmitter.pc);
+    let replays: u64 = report.module.replays.iter().sum();
+    Ok(PlanValidation {
+        handle_pc: plan.handle.pc,
+        transmitter_pc: plan.transmitter.pc,
+        transmitter_executions: executions,
+        replays,
+        confirmed: replays >= 1 && executions >= 2,
+    })
+}
+
+/// Measures how often `pc` issues with *no* attack installed (baseline
+/// for fence-audit runs: a hardened program should keep the transmitter
+/// at its natural issue count even under replay pressure — see
+/// [`validate_plan`] for the attacked variant).
+pub fn baseline_executions(
+    mut builder: SessionBuilder,
+    pc: usize,
+    max_cycles: u64,
+) -> Result<u64, ValidateError> {
+    builder.probe(RecorderConfig {
+        enabled: true,
+        capacity: 500_000,
+    });
+    let mut session = builder.build().map_err(ValidateError::Build)?;
+    let report = session.run(max_cycles);
+    Ok(report.executions_of(0, pc))
+}

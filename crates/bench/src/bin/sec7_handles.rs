@@ -8,12 +8,30 @@
 //!   younger code; with `k` primed branches in flight the transmit replays
 //!   up to `k` times — bounded, because branches eventually resolve.
 
-use microscope_bench::{print_table, shape_check};
+use microscope_bench::{extract_jobs, parse_or_exit, print_table, shape_check};
+use microscope_core::sweep::{SweepPoint, SweepSpec};
+use microscope_core::SimConfig;
 use microscope_cpu::{
     Assembler, Cond, ContextId, FaultEvent, HwParts, InterruptEvent, MachineBuilder, Reg,
     Supervisor, SupervisorAction,
 };
 use microscope_mem::{AddressSpace, PhysMem, PteFlags, VAddr};
+
+/// One grid point: which replay-handle experiment to run.
+#[derive(Clone, Copy, Debug)]
+enum HandlePoint {
+    /// TSX write-set eviction with this many attacker flushes.
+    Tsx { flushes: u64 },
+    /// `k` primed mispredicting branches ahead of the transmit.
+    Mispredict { k: usize },
+}
+
+/// The experiment's deterministic measurement.
+#[derive(Clone, Copy, Debug)]
+enum HandleResult {
+    Tsx { aborts: u64, loads: u64 },
+    Mispredict { k: usize, n: u64 },
+}
 
 /// TSX-abort replay: returns (aborts, transmit executions).
 fn tsx_replays(flushes: u64) -> (u64, u64) {
@@ -107,25 +125,71 @@ fn mispredict_replays(k: usize) -> u64 {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_or_exit(extract_jobs(&mut args));
     println!("== §7: alternative replay handles ==\n");
+    // The five experiments run as one sweep grid — `--jobs N` fans them
+    // out; the grid-ordered results keep stdout byte-identical for any N.
+    let sweep = SweepSpec::new("sec7-handles", |pt: &SweepPoint<HandlePoint>| {
+        Ok(match pt.payload {
+            HandlePoint::Tsx { flushes } => {
+                let (aborts, loads) = tsx_replays(flushes);
+                HandleResult::Tsx { aborts, loads }
+            }
+            HandlePoint::Mispredict { k } => HandleResult::Mispredict {
+                k,
+                n: mispredict_replays(k),
+            },
+        })
+    })
+    .point(
+        "tsx-25-flushes",
+        SimConfig::default(),
+        HandlePoint::Tsx { flushes: 25 },
+    )
+    .points([1usize, 2, 4, 8].into_iter().map(|k| {
+        (
+            format!("mispredict-k{k}"),
+            SimConfig::default(),
+            HandlePoint::Mispredict { k },
+        )
+    }))
+    .jobs_opt(jobs)
+    .run();
+    eprintln!("{}", sweep.schedule_summary());
+    for (pt, err) in sweep.errors() {
+        eprintln!("error: point {:?}: {err}", pt.label);
+    }
+    if sweep.errors().next().is_some() {
+        std::process::exit(1);
+    }
     let mut rows = Vec::new();
-    let (aborts, loads) = tsx_replays(25);
-    rows.push(vec![
-        "TSX write-set eviction".into(),
-        format!("{aborts} aborts"),
-        format!("{loads} transmit executions"),
-        "unbounded (attacker-controlled)".into(),
-    ]);
+    let (mut aborts, mut loads) = (0, 0);
     let mut mispredict_results = Vec::new();
-    for k in [1usize, 2, 4, 8] {
-        let n = mispredict_replays(k);
-        mispredict_results.push((k, n));
-        rows.push(vec![
-            format!("{k} primed mispredicting branch(es)"),
-            format!("{k} squashes max"),
-            format!("{n} transmit executions"),
-            "bounded (branches resolve)".into(),
-        ]);
+    for (_, result) in sweep.ok() {
+        match *result {
+            HandleResult::Tsx {
+                aborts: a,
+                loads: l,
+            } => {
+                (aborts, loads) = (a, l);
+                rows.push(vec![
+                    "TSX write-set eviction".into(),
+                    format!("{a} aborts"),
+                    format!("{l} transmit executions"),
+                    "unbounded (attacker-controlled)".into(),
+                ]);
+            }
+            HandleResult::Mispredict { k, n } => {
+                mispredict_results.push((k, n));
+                rows.push(vec![
+                    format!("{k} primed mispredicting branch(es)"),
+                    format!("{k} squashes max"),
+                    format!("{n} transmit executions"),
+                    "bounded (branches resolve)".into(),
+                ]);
+            }
+        }
     }
     print_table(&["handle", "replay events", "leak", "bound"], &rows);
     println!();

@@ -13,9 +13,7 @@
 //! | `sec7_rdrand` | §7.2 — RDRAND biasing vs the fence |
 //! | `aes_trace` | §6.2 — full single-run AES access-trace extraction |
 //! | `ablate_walk` | §4.1.2 — speculation-window size vs walk tuning |
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+//! | `sec8_analyze` | static attack-plan analysis, validated in-simulator |
 
 /// Renders a latency series as a compact ASCII scatter summary: count per
 /// bucket, plus min/median/p99/max.
@@ -200,6 +198,14 @@ pub fn extract_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<S
         }
     }
     Ok(found)
+}
+
+/// Removes a boolean flag (`--flag`) from `args`, returning whether it
+/// was present (any number of occurrences collapses to one).
+pub fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
 }
 
 /// Extracts `--jobs N` / `--jobs=N` (the sweep worker count). `None`

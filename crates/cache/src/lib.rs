@@ -35,9 +35,6 @@
 //! assert!(second.latency < first.latency);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod addr;
 mod banks;
 mod cache;

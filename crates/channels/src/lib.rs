@@ -12,9 +12,6 @@
 //!   resolution and single-trace accuracy — regenerating the table's
 //!   qualitative layout from experiments instead of citations.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod aes_attack;
 pub mod flush_reload;
 pub mod modexp_attack;

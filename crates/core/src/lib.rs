@@ -19,9 +19,6 @@
 //! replay turns *one* noisy logical execution into as many samples as the
 //! attacker wants.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 pub mod denoise;
 mod error;

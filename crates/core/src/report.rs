@@ -117,6 +117,21 @@ impl AttackReport {
         ReplayAnalytics::from_parts(&self.module, &self.trace)
     }
 
+    /// How many times the instruction at `pc` of context `ctx` *issued*
+    /// (began execution) during the run, counting squashed-and-replayed
+    /// executions — the ground truth a static attack plan is validated
+    /// against: a transmitter predicted replayable must issue more than
+    /// once. Requires tracing to have been enabled.
+    pub fn executions_of(&self, ctx: u32, pc: usize) -> u64 {
+        self.trace
+            .iter()
+            .filter(|e| {
+                e.ctx == Some(ctx)
+                    && matches!(e.kind, EventKind::Issue { pc: p, .. } if p == pc as u64)
+            })
+            .count() as u64
+    }
+
     /// A compact summary: replay counts, samples per replay, the
     /// speculation-window histogram, and the metric registry.
     pub fn snapshot(&self) -> ReportSnapshot {

@@ -308,22 +308,69 @@ impl Inst {
         matches!(self, Inst::Branch { .. } | Inst::Jmp { .. })
     }
 
+    /// Whether this instruction serializes the pipeline — younger
+    /// instructions cannot issue beneath it, so no speculation window
+    /// crosses it. `Fence` always does; `RdRand` only when the core runs
+    /// with the fenced-`RDRAND` defense
+    /// ([`CoreConfig::rdrand_is_fenced`](crate::CoreConfig)).
+    pub fn is_serializing(&self, rdrand_is_fenced: bool) -> bool {
+        match self {
+            Inst::Fence => true,
+            Inst::RdRand { .. } => rdrand_is_fenced,
+            _ => false,
+        }
+    }
+
+    /// The explicit control-flow target of this instruction, if any: the
+    /// taken side of a branch, a jump destination, or a transaction's
+    /// abort handler.
+    pub fn control_target(&self) -> Option<usize> {
+        match *self {
+            Inst::Branch { target, .. } | Inst::Jmp { target } => Some(target),
+            Inst::XBegin { abort_target } => Some(abort_target),
+            _ => None,
+        }
+    }
+
+    /// Whether execution can continue at the next program index after this
+    /// instruction (everything except an unconditional jump or a halt).
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Inst::Jmp { .. } | Inst::Halt)
+    }
+
+    /// The memory reference `(base, offset, is_store)` this instruction
+    /// makes, if any — the address-forming operands a static analysis
+    /// resolves against the page tables.
+    pub fn memory_ref(&self) -> Option<(Reg, i64, bool)> {
+        match *self {
+            Inst::Load { base, offset, .. } => Some((base, offset, false)),
+            Inst::Store { base, offset, .. } => Some((base, offset, true)),
+            _ => None,
+        }
+    }
+
     /// A copy with every control-flow target shifted by `by` instructions —
     /// the relocation primitive program transforms (T-SGX wrapping,
     /// PF-obliviousness, jitter sleds) use when splicing code.
     pub fn shifted_targets(self, by: usize) -> Inst {
+        self.retargeted(|t| t + by)
+    }
+
+    /// A copy with every control-flow target rewritten through `f` — the
+    /// general relocation primitive for transforms that insert
+    /// instructions at arbitrary positions (e.g. fence hardening), where
+    /// each target moves by a different amount.
+    pub fn retargeted(self, f: impl Fn(usize) -> usize) -> Inst {
         match self {
             Inst::Branch { cond, a, b, target } => Inst::Branch {
                 cond,
                 a,
                 b,
-                target: target + by,
+                target: f(target),
             },
-            Inst::Jmp { target } => Inst::Jmp {
-                target: target + by,
-            },
+            Inst::Jmp { target } => Inst::Jmp { target: f(target) },
             Inst::XBegin { abort_target } => Inst::XBegin {
-                abort_target: abort_target + by,
+                abort_target: f(abort_target),
             },
             other => other,
         }
@@ -400,5 +447,33 @@ mod tests {
             after: Some(Reg(9)),
         };
         assert_eq!(t.sources(), vec![Reg(9)]);
+    }
+
+    #[test]
+    fn serializing_classification_tracks_the_rdrand_fence() {
+        assert!(Inst::Fence.is_serializing(false));
+        assert!(Inst::Fence.is_serializing(true));
+        let rr = Inst::RdRand { dst: Reg(1) };
+        assert!(rr.is_serializing(true));
+        assert!(!rr.is_serializing(false));
+        assert!(!Inst::Nop.is_serializing(true));
+    }
+
+    #[test]
+    fn control_targets_and_fall_through() {
+        let br = Inst::Branch {
+            cond: Cond::Eq,
+            a: Reg(1),
+            b: Reg(2),
+            target: 7,
+        };
+        assert_eq!(br.control_target(), Some(7));
+        assert!(br.falls_through());
+        let jmp = Inst::Jmp { target: 3 };
+        assert_eq!(jmp.control_target(), Some(3));
+        assert!(!jmp.falls_through());
+        assert_eq!(Inst::XBegin { abort_target: 9 }.control_target(), Some(9));
+        assert!(!Inst::Halt.falls_through());
+        assert_eq!(Inst::Nop.control_target(), None);
     }
 }

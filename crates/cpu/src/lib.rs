@@ -45,9 +45,6 @@
 //! assert_eq!(machine.context(0.into()).reg(c), 42);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod context;
 mod isa;
@@ -66,7 +63,7 @@ pub use isa::{AluOp, Cond, FpOp, Inst, Reg};
 pub use machine::{Machine, MachineBuilder, RunExit};
 pub use ports::{PortKind, Ports};
 pub use predictor::{BranchPredictor, PredictorConfig};
-pub use program::{Assembler, Label, Program};
+pub use program::{AssembleError, Assembler, Label, Program};
 pub use rob::{RobEntry, RobState, SquashCause};
 pub use stats::{ContextStats, MachineStats};
 pub use supervisor::{

@@ -19,6 +19,10 @@ use microscope_mem::{
 };
 use microscope_probe::{Probe, RecorderConfig};
 
+/// A pending (unissued) store: its ROB index plus the virtual byte range
+/// `[lo, hi)` its address operand resolves to, when already known.
+type PendingStore = (usize, Option<(u64, u64)>);
+
 /// SplitMix64: a tiny, high-quality mixing function for the DRBG model.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -723,14 +727,18 @@ impl Machine {
     fn issue_stage(&mut self, now: u64) {
         let n = self.contexts.len();
         let mut budget = self.cfg.issue_width;
-        // Per-context gating indices, computed in one O(rob) pass each:
+        // Per-context gating state, computed in one O(rob) pass each:
         //  - first entry that is not Done (fences/serialized ops need all
         //    older entries Done);
         //  - first incomplete entry that blocks younger issue;
-        //  - first store with an unresolved address (loads may not pass it).
+        //  - every pending (unissued) store, with its virtual range when
+        //    the address operand has already resolved. Store addresses
+        //    resolve independently of store data (the STA/STD split), so
+        //    a younger load only waits on a pending store whose address
+        //    is unknown or may overlap its own.
         let mut first_not_done = vec![usize::MAX; n];
         let mut first_blocker = vec![usize::MAX; n];
-        let mut first_unresolved_store = vec![usize::MAX; n];
+        let mut pending_stores: Vec<Vec<PendingStore>> = vec![Vec::new(); n];
         for ci in 0..n {
             for (idx, e) in self.contexts[ci].rob.iter().enumerate() {
                 if first_not_done[ci] == usize::MAX && e.state != RobState::Done {
@@ -740,13 +748,12 @@ impl Machine {
                 {
                     first_blocker[ci] = idx;
                 }
-                if first_unresolved_store[ci] == usize::MAX
-                    && matches!(e.inst, Inst::Store { .. })
+                if matches!(e.inst, Inst::Store { .. })
                     && e.mem_addr.is_none()
                     && e.fault.is_none()
                     && !e.is_complete()
                 {
-                    first_unresolved_store[ci] = idx;
+                    pending_stores[ci].push((idx, e.resolved_vaddr_range()));
                 }
             }
         }
@@ -771,7 +778,7 @@ impl Machine {
                 idx,
                 first_not_done[ci],
                 first_blocker[ci],
-                first_unresolved_store[ci],
+                &pending_stores[ci],
             ) && self.try_execute(ci, idx, now)
             {
                 budget -= 1;
@@ -785,7 +792,7 @@ impl Machine {
         idx: usize,
         first_not_done: usize,
         first_blocker: usize,
-        first_unresolved_store: usize,
+        pending_stores: &[PendingStore],
     ) -> bool {
         let e = &self.contexts[ci].rob[idx];
         if e.state != RobState::Waiting || !e.srcs_ready() {
@@ -801,10 +808,25 @@ impl Machine {
         if first_blocker < idx {
             return false;
         }
-        // Conservative memory disambiguation: a load may not issue past an
-        // older store whose address is still unknown.
-        if matches!(e.inst, Inst::Load { .. }) && first_unresolved_store < idx {
-            return false;
+        // Memory disambiguation: a load may not issue past an older
+        // pending store whose address is unknown or may overlap. Store
+        // addresses resolve as soon as the base register is ready (even
+        // while the data operand waits on a producer), so a store to a
+        // known disjoint address never holds younger loads back.
+        if matches!(e.inst, Inst::Load { .. }) {
+            let (lo, hi) = e
+                .resolved_vaddr_range()
+                .expect("load with ready operands has a resolved address");
+            for &(sidx, range) in pending_stores {
+                if sidx >= idx {
+                    break;
+                }
+                match range {
+                    None => return false,
+                    Some((slo, shi)) if lo < shi && slo < hi => return false,
+                    Some(_) => {}
+                }
+            }
         }
         true
     }

@@ -60,6 +60,45 @@ impl Program {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
+/// Why [`Assembler::assemble`] rejected a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A control-flow instruction references a label that was never bound.
+    UnboundLabel {
+        /// Program index of the referencing instruction.
+        at: usize,
+    },
+    /// A control-flow target points past the end of the program. A target
+    /// *equal to* the length is allowed (falling off the end halts); one
+    /// beyond it can only come from a hand-pushed instruction and would
+    /// silently halt at runtime instead of going where it claims.
+    TargetOutOfRange {
+        /// Program index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Program length at assembly time.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AssembleError::UnboundLabel { at } => {
+                write!(f, "unbound label referenced by instruction at pc {at}")
+            }
+            AssembleError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "instruction at pc {at} targets {target}, past the end of the \
+                 {len}-instruction program"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
 /// Incremental program builder with labels.
 ///
 /// All emit methods return `&mut Self` for chaining (non-consuming builder).
@@ -278,15 +317,16 @@ impl Assembler {
         self.push(Inst::Halt)
     }
 
-    /// Resolves labels and produces the program.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any referenced label was never bound.
-    pub fn finish(&mut self) -> Program {
+    /// Resolves labels and produces the program, statically rejecting
+    /// programs that would only fail at runtime: references to labels that
+    /// were never bound, and control-flow targets beyond the end of the
+    /// program (including ones smuggled in through [`Assembler::push`]).
+    pub fn assemble(&mut self) -> Result<Program, AssembleError> {
         let mut insts = std::mem::take(&mut self.insts);
         for (at, label) in self.fixups.drain(..) {
-            let target = self.labels[label.0].expect("unbound label referenced by instruction");
+            let Some(target) = self.labels[label.0] else {
+                return Err(AssembleError::UnboundLabel { at });
+            };
             match &mut insts[at] {
                 Inst::Branch { target: t, .. }
                 | Inst::Jmp { target: t }
@@ -295,7 +335,26 @@ impl Assembler {
             }
         }
         self.labels.clear();
-        Program::new(insts)
+        let len = insts.len();
+        for (at, inst) in insts.iter().enumerate() {
+            if let Some(target) = inst.control_target() {
+                // target == len is fine: falling off the end halts.
+                if target > len {
+                    return Err(AssembleError::TargetOutOfRange { at, target, len });
+                }
+            }
+        }
+        Ok(Program::new(insts))
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is rejected by [`Assembler::assemble`] (an
+    /// unbound label or out-of-range target).
+    pub fn finish(&mut self) -> Program {
+        self.assemble().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -332,6 +391,57 @@ mod tests {
         let l = asm.label();
         asm.jmp(l);
         let _ = asm.finish();
+    }
+
+    #[test]
+    fn assemble_rejects_unbound_labels_with_a_typed_error() {
+        let mut asm = Assembler::new();
+        let l = asm.label();
+        asm.nop().jmp(l);
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AssembleError::UnboundLabel { at: 1 }
+        );
+    }
+
+    #[test]
+    fn assemble_rejects_out_of_range_targets() {
+        let mut asm = Assembler::new();
+        asm.push(Inst::Jmp { target: 5 }).halt();
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AssembleError::TargetOutOfRange {
+                at: 0,
+                target: 5,
+                len: 2
+            }
+        );
+    }
+
+    #[test]
+    fn assemble_allows_targets_one_past_the_end() {
+        // A label bound after the last instruction resolves to `len`;
+        // branching there falls off the end and halts, which is valid.
+        let mut asm = Assembler::new();
+        let end = asm.label();
+        asm.imm(Reg(1), 0).branch(Cond::Eq, Reg(1), Reg(1), end);
+        asm.bind(end);
+        let p = asm.assemble().expect("target == len is legal");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn assemble_errors_render_readably() {
+        let e = AssembleError::TargetOutOfRange {
+            at: 3,
+            target: 9,
+            len: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pc 3") && s.contains('9'));
+        assert!(AssembleError::UnboundLabel { at: 0 }
+            .to_string()
+            .contains("unbound label"));
     }
 
     #[test]

@@ -105,6 +105,23 @@ impl RobEntry {
         }
     }
 
+    /// The virtual byte range `[lo, hi)` a memory op will touch, resolved
+    /// from its address operand alone. For a store this is available even
+    /// while the data operand is still pending — the analogue of the
+    /// separate store-address µop real pipelines issue, and what lets
+    /// memory disambiguation wave younger loads past a store to a known,
+    /// disjoint address.
+    pub fn resolved_vaddr_range(&self) -> Option<(u64, u64)> {
+        let (addr_src, offset, size) = match self.inst {
+            Inst::Load { offset, size, .. } => (self.srcs.first(), offset, size),
+            Inst::Store { offset, size, .. } => (self.srcs.get(1), offset, size),
+            _ => return None,
+        };
+        let base = addr_src?.value()?;
+        let lo = base.wrapping_add(offset as u64);
+        Some((lo, lo.wrapping_add(u64::from(size.max(1)))))
+    }
+
     /// The destination register, if any.
     pub fn dst(&self) -> Option<Reg> {
         self.inst.dst()

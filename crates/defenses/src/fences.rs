@@ -1,11 +1,66 @@
-//! Fences on pipeline flushes, and the RDRAND fence (paper §8 / §7.2).
+//! Fences on pipeline flushes, the RDRAND fence (paper §8 / §7.2), and
+//! static fence *insertion* — the program transform the analysis crate's
+//! defense-audit mode verifies.
 
 use crate::DefenseOutcome;
 use microscope_core::{SessionBuilder, SimConfig};
-use microscope_cpu::{Assembler, ContextId, CoreConfig, Reg};
+use microscope_cpu::{Assembler, ContextId, CoreConfig, Inst, Program, Reg};
 use microscope_mem::VAddr;
 use microscope_victims::layout::DataLayout;
 use microscope_victims::rdrand;
+
+/// Where `pc` lands after inserting fences at `positions` (sorted, deduped
+/// internally): each fence at position `p <= pc` pushes the instruction
+/// one slot down.
+pub fn remapped_pc(positions: &[usize], pc: usize) -> usize {
+    let mut sorted: Vec<usize> = positions.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    pc + sorted.iter().take_while(|&&p| p <= pc).count()
+}
+
+/// Inserts a `fence` *before* each program index in `positions`
+/// (duplicates and out-of-range positions are ignored; `len` inserts at
+/// the very end), remapping every control-flow target so the program's
+/// behavior is unchanged apart from the serialization points.
+///
+/// A branch targeting a fenced position lands **on** the fence — the
+/// serialization guards the original instruction on every path to it,
+/// which is exactly what closing a speculation window requires.
+pub fn insert_fences(program: &Program, positions: &[usize]) -> Program {
+    let mut sorted: Vec<usize> = positions
+        .iter()
+        .copied()
+        .filter(|&p| p <= program.len())
+        .collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    // Targets use the strict count: a branch to `t` must land on the fence
+    // inserted at `t`, i.e. move only past fences strictly before it.
+    let target_map = |t: usize| t + sorted.iter().take_while(|&&p| p < t).count();
+    let mut out = Vec::with_capacity(program.len() + sorted.len());
+    let mut next_fence = 0usize;
+    for (pc, inst) in program.iter().enumerate() {
+        while next_fence < sorted.len() && sorted[next_fence] == pc {
+            out.push(Inst::Fence);
+            next_fence += 1;
+        }
+        out.push(inst.retargeted(target_map));
+    }
+    while next_fence < sorted.len() {
+        out.push(Inst::Fence);
+        next_fence += 1;
+    }
+    Program::new(out)
+}
+
+/// Hardens a program against replay extraction by fencing immediately
+/// before every pc in `transmitter_pcs` (as classified by
+/// `microscope-analyze`): no speculation window opened by an older replay
+/// handle can reach a transmitter across its fence.
+pub fn harden(program: &Program, transmitter_pcs: &[usize]) -> Program {
+    insert_fences(program, transmitter_pcs)
+}
 
 /// Builds the canonical leak victim: a replay-handle load followed by an
 /// independent transmit load. Returns (program, handle, transmit).
@@ -158,6 +213,52 @@ pub fn evaluate_rdrand_fence() -> DefenseOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use microscope_cpu::Cond;
+
+    #[test]
+    fn insert_fences_remaps_targets_and_preserves_shape() {
+        // 0: imm, 1: branch->3, 2: load, 3: halt; fence before the load.
+        let mut asm = Assembler::new();
+        let end = asm.label();
+        asm.imm(Reg(1), 0x1000)
+            .branch(Cond::Eq, Reg(1), Reg(1), end)
+            .load(Reg(2), Reg(1), 0);
+        asm.bind(end);
+        asm.halt();
+        let p = asm.finish();
+        let fenced = insert_fences(&p, &[2]);
+        assert_eq!(fenced.len(), p.len() + 1);
+        assert!(matches!(fenced.fetch(2), Some(Inst::Fence)));
+        assert!(matches!(fenced.fetch(3), Some(Inst::Load { .. })));
+        // The branch's target (old 3) moves past the fence to 4.
+        assert!(matches!(
+            fenced.fetch(1),
+            Some(Inst::Branch { target: 4, .. })
+        ));
+        assert_eq!(remapped_pc(&[2], 2), 3);
+        assert_eq!(remapped_pc(&[2], 1), 1);
+    }
+
+    #[test]
+    fn branch_onto_a_fenced_position_lands_on_the_fence() {
+        // A branch *to* the fenced instruction must serialize before
+        // reaching it, so its target maps to the fence itself.
+        let mut asm = Assembler::new();
+        let back = asm.label();
+        asm.imm(Reg(1), 0);
+        asm.bind(back);
+        asm.load(Reg(2), Reg(1), 0)
+            .branch(Cond::Eq, Reg(1), Reg(1), back)
+            .halt();
+        let p = asm.finish();
+        let fenced = insert_fences(&p, &[1]);
+        assert!(matches!(fenced.fetch(1), Some(Inst::Fence)));
+        // Old target 1 stays 1: it now points at the guarding fence.
+        assert!(matches!(
+            fenced.fetch(3),
+            Some(Inst::Branch { target: 1, .. })
+        ));
+    }
 
     #[test]
     fn pipeline_fence_bounds_the_leak() {

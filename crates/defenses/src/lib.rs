@@ -10,9 +10,6 @@
 //! | [`pf_oblivious`] | page-fault obliviousness (Shinde et al.) | "makes it easier … the added memory accesses provide more replay handles" | handle count strictly increases |
 //! | [`invisible`] | InvisiSpec/SafeSpec-style invisible speculation | covers caches only, not contention | cache channel dies, port channel survives |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dejavu;
 pub mod fences;
 pub mod invisible;

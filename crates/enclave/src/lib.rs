@@ -34,9 +34,6 @@
 //! assert!(region.contains(VAddr(0x10_0fff)));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use microscope_cpu::Program;
 use microscope_mem::{PageFault, VAddr, PAGE_BYTES};
 use std::collections::hash_map::DefaultHasher;

@@ -42,9 +42,6 @@
 //! assert!(warm.latency < cold.latency);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod aspace;
 mod fault;
 mod phys;

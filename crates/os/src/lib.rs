@@ -22,9 +22,6 @@
 //! enclave (AEX — the OS sees only the VPN), then offered to the module's
 //! trampoline; unclaimed faults fall through to an honest demand pager.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod kernel;
 mod module;
 mod ops;

@@ -23,9 +23,6 @@
 //!   (setup → walk → speculative window → fault → squash → replay N) from
 //!   a raw event stream.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod event;
 pub mod export;
 pub mod json;

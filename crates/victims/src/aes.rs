@@ -615,6 +615,15 @@ pub fn build(
     )
 }
 
+/// Taint sources: the decryption round keys (`4·(rounds+1)` u32 words).
+/// Every state word mixes in `rk`, so all `Td`/`Td4` lookup addresses are
+/// key-dependent — the Figure 8/11 cache channel. The `rk` loads
+/// themselves use constant addresses: they are handles, not transmitters.
+pub fn secrets(layout: &AesLayout) -> crate::SecretMap {
+    let words = 4 * (layout.size.rounds() as u64 + 1);
+    crate::SecretMap::new().region(layout.rk, words * 4, "decryption round keys")
+}
+
 /// Reads the decrypted block back out of victim memory after a run.
 ///
 /// # Panics

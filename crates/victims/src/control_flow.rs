@@ -114,6 +114,13 @@ pub fn build(
     )
 }
 
+/// Taint sources: the branch-condition word. The secret reaches a branch
+/// (not a load address), so the static channel is the mul-vs-div control
+/// flow the Figure 6 monitor distinguishes through the divider port.
+pub fn secrets(layout: &ControlFlowLayout) -> crate::SecretMap {
+    crate::SecretMap::new().region(layout.secret, 8, "branch condition")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

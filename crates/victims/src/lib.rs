@@ -20,9 +20,10 @@
 //! * [`subnormal`] — a single `divsd` whose operand is secretly subnormal
 //!   (the Andrysco-et-al. FPU timing channel, detectable in one run via
 //!   MicroScope).
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+//!
+//! Every victim additionally exports a `secrets()` function returning a
+//! [`SecretMap`] — the taint-source declaration `microscope-analyze`
+//! seeds its static dataflow from.
 
 pub mod aes;
 pub mod control_flow;
@@ -30,5 +31,8 @@ pub mod layout;
 pub mod loop_secret;
 pub mod modexp;
 pub mod rdrand;
+pub mod secrets;
 pub mod single_secret;
 pub mod subnormal;
+
+pub use secrets::{SecretMap, SecretRegion};

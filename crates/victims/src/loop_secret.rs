@@ -142,6 +142,12 @@ pub fn build(
     )
 }
 
+/// Taint sources: the per-iteration `secret[i]` array. Each loaded secret
+/// forms the `table[secret[i] * 64]` address — the cache-line transmit.
+pub fn secrets(layout: &LoopSecretLayout) -> crate::SecretMap {
+    crate::SecretMap::new().region(layout.secrets, layout.iterations * 8, "secret[i] array")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

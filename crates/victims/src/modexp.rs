@@ -79,6 +79,15 @@ mod r {
     pub const ZERO: Reg = Reg(14);
 }
 
+/// Taint sources: the exponent, which lives in a register as an immediate
+/// operand from instruction 0 — declared *sticky* because its secrecy is
+/// the value itself, not a memory provenance. Every `(exp >> i) & 1`
+/// extraction, the multiply branch, and the marker-line addresses derive
+/// from it.
+pub fn secrets(_layout: &ModExpLayout) -> crate::SecretMap {
+    crate::SecretMap::new().sticky_reg(r::EXP, "private exponent")
+}
+
 /// Reference implementation (and the ground truth the attack is scored
 /// against).
 pub fn modexp_reference(base: u64, exponent: u64, modulus: u64, bits: u32) -> u64 {

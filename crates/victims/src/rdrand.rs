@@ -91,6 +91,13 @@ pub fn build(phys: &mut PhysMem, aspace: AddressSpace, base: VAddr) -> (Program,
     )
 }
 
+/// Taint sources: the hardware random draw itself — the value whose
+/// *integrity* (not confidentiality) the §7.2 attack subverts. Its low bit
+/// forms the transmit-load address.
+pub fn secrets(_layout: &RdRandLayout) -> crate::SecretMap {
+    crate::SecretMap::new().rdrand()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -106,6 +106,13 @@ pub fn expected(secrets: &[f64], id: u64, key: f64) -> f64 {
     secrets[id as usize] / key
 }
 
+/// Taint sources: the contents of the `secrets[]` table (`entries` f64
+/// elements). The loaded element feeds the transmit division, so the
+/// divider occupancy is secret-dependent (the Figure 5 port channel).
+pub fn secrets(layout: &SingleSecretLayout, entries: u64) -> crate::SecretMap {
+    crate::SecretMap::new().region(layout.secrets, entries * 8, "secrets[] table")
+}
+
 /// Convenience for tests/benches: a secrets table whose entries are all
 /// ordinary except `subnormal_at`, which is subnormal.
 pub fn secrets_with_subnormal(len: usize, subnormal_at: usize) -> Vec<f64> {

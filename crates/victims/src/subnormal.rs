@@ -73,6 +73,12 @@ pub fn build(
     (asm.finish(), SubnormalLayout { handle, operand })
 }
 
+/// Taint sources: the secret dividend word. It reaches a `divsd` operand,
+/// making the divider occupancy (normal vs. subnormal assist) the channel.
+pub fn secrets(layout: &SubnormalLayout) -> crate::SecretMap {
+    crate::SecretMap::new().region(layout.operand, 8, "secret dividend")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo check (missing_docs promoted to deny) =="
+# The workspace lint table sets missing_docs = "warn"; CI refuses it.
+RUSTFLAGS="-D missing_docs" cargo check --workspace --all-targets
+
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -21,5 +25,14 @@ echo "== sweep smoke: ablate_walk --jobs 2 =="
 # A 5-point sweep fanned over 2 workers; exercises the parallel engine and
 # the shape checks end-to-end in well under a second.
 cargo run -q --release -p microscope-bench --bin ablate_walk -- --jobs 2
+
+echo "== analyzer smoke: sec8_analyze --audit-defenses =="
+# Static plans for all 8 victims, simulator confirmation for 4, and the
+# fence audit (zero open windows + no replay amplification) — the
+# binary's own shape checks gate the exit code.
+cargo run -q --release -p microscope-bench --bin sec8_analyze -- --audit-defenses --jobs 2
+
+echo "== analyzer soundness property =="
+cargo test -q --release --test analyze_soundness
 
 echo "CI OK"

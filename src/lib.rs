@@ -21,6 +21,7 @@
 //! * [`victims`] — Figure-5/6/4b victims, T-table AES, RDRAND, subnormals
 //! * [`channels`] — port-contention & cache monitors, Table-1 taxonomy
 //! * [`defenses`] — §8 countermeasures, each evaluated against the attack
+//! * [`analyze`] — static replay-handle & secret-taint attack planning
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use microscope_analyze as analyze;
 pub use microscope_cache as cache;
 pub use microscope_channels as channels;
 pub use microscope_core as core;

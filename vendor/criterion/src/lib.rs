@@ -6,8 +6,6 @@
 //! uses `std::time::Instant` with a simple mean over a fixed batch — good
 //! enough for relative comparisons, with none of criterion's statistics.
 
-#![forbid(unsafe_code)]
-
 use std::hint;
 use std::time::{Duration, Instant};
 

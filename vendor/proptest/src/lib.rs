@@ -10,8 +10,6 @@
 //! its index so it can be replayed (generation is a pure function of the
 //! test's module path and name).
 
-#![forbid(unsafe_code)]
-
 use std::fmt;
 use std::ops::Range;
 use std::rc::Rc;

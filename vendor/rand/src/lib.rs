@@ -7,8 +7,6 @@
 //! simulation noise and, crucially, *seed-stable*, which DESIGN.md §4
 //! requires for reproducible figures. It is NOT cryptographic.
 
-#![forbid(unsafe_code)]
-
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Returns the next 64-bit word.
