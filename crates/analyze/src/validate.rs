@@ -51,6 +51,13 @@ pub struct PlanValidation {
     /// module replayed at least once *and* the transmitter issued at
     /// least twice (original + replayed shadow).
     pub confirmed: bool,
+    /// Result of re-running the attack from the armed
+    /// [`MachineCheckpoint`](microscope_cpu::MachineCheckpoint) instead
+    /// of from cold: `Some(true)` when the re-run reproduced the same
+    /// replay and issue counts (the fast path is trustworthy for this
+    /// plan), `None` when the handle never armed so there was no
+    /// checkpoint to re-run from.
+    pub replay_reconfirmed: Option<bool>,
 }
 
 impl fmt::Display for PlanValidation {
@@ -116,12 +123,21 @@ pub fn validate_plan(
     let report = session.run(max_cycles);
     let executions = report.executions_of(0, plan.transmitter.pc);
     let replays: u64 = report.module.replays.iter().sum();
+    // Cross-check the checkpoint/fast-replay engine on this plan: rewind
+    // to the armed snapshot and re-run. A rerun that disagrees with the
+    // cold measurement means the fast path cannot be trusted for sweeps
+    // over this victim, which the caller should know about.
+    let replay_reconfirmed = session.rerun(max_cycles).ok().map(|again| {
+        again.executions_of(0, plan.transmitter.pc) == executions
+            && again.module.replays.iter().sum::<u64>() == replays
+    });
     Ok(PlanValidation {
         handle_pc: plan.handle.pc,
         transmitter_pc: plan.transmitter.pc,
         transmitter_executions: executions,
         replays,
         confirmed: replays >= 1 && executions >= 2,
+        replay_reconfirmed,
     })
 }
 

@@ -18,7 +18,7 @@
 //! replaying so that *one logical victim run* yields enough spikes to
 //! classify.
 
-use microscope_core::{denoise, AttackReport, MonitorBuffer, SessionBuilder};
+use microscope_core::{denoise, AttackReport, AttackSession, MonitorBuffer, SessionBuilder};
 use microscope_cpu::{Assembler, Cond, Program};
 use microscope_mem::{AddressSpace, PhysMem, VAddr};
 use microscope_os::WalkTuning;
@@ -121,11 +121,13 @@ impl Default for PortContentionConfig {
     }
 }
 
-/// Runs the full Figure-10 experiment for one victim secret: the
-/// control-flow victim (2 muls vs 2 divs) under replay, with the monitor
-/// sampling concurrently. Returns the attack report (monitor samples
-/// included).
-pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
+/// Assembles the Figure-10 session for one victim secret — the
+/// control-flow victim (2 muls vs 2 divs) under replay, with the SMT
+/// monitor installed — without running it. The perf-bench harness uses
+/// this to alternate cold runs with checkpointed
+/// [`rerun_until_monitor_done`](AttackSession::rerun_until_monitor_done)
+/// iterations of the *same* session.
+pub fn build_session(secret: bool, cfg: &PortContentionConfig) -> AttackSession {
     let mut b = SessionBuilder::new();
     if let Some(p) = cfg.probe {
         b.probe(p);
@@ -155,6 +157,14 @@ pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
             .set_step_interrupt(microscope_cpu::ContextId(1), Some(every));
     }
     session
+}
+
+/// Runs the full Figure-10 experiment for one victim secret: the
+/// control-flow victim (2 muls vs 2 divs) under replay, with the monitor
+/// sampling concurrently. Returns the attack report (monitor samples
+/// included).
+pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
+    build_session(secret, cfg)
         .run_until_monitor_done(cfg.max_cycles)
         .expect("port-contention session has a monitor")
 }

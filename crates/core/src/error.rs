@@ -40,6 +40,14 @@ pub enum RunError {
     /// installed via
     /// [`SessionBuilder::monitor`](crate::SessionBuilder::monitor).
     NoMonitor,
+    /// A `rerun*` method was called before the armed-state checkpoint was
+    /// captured — run the session once first (for deferred arming the
+    /// snapshot is taken mid-run, at the arming interrupt).
+    NoCheckpoint,
+    /// The armed-state checkpoint carries supervisor state the currently
+    /// installed supervisor does not recognize (it was swapped since the
+    /// capture), so the rewind would silently lose kernel/module state.
+    CheckpointMismatch,
 }
 
 impl fmt::Display for RunError {
@@ -49,6 +57,18 @@ impl fmt::Display for RunError {
                 write!(
                     f,
                     "no monitor installed (call SessionBuilder::monitor first)"
+                )
+            }
+            RunError::NoCheckpoint => {
+                write!(
+                    f,
+                    "no armed checkpoint captured yet (run the session once before rerunning)"
+                )
+            }
+            RunError::CheckpointMismatch => {
+                write!(
+                    f,
+                    "checkpoint does not match the installed supervisor (swapped since capture)"
                 )
             }
         }

@@ -3,10 +3,9 @@
 use crate::config::SimConfig;
 use crate::error::{BuildError, RunError};
 use crate::report::AttackReport;
-use microscope_cache::HierarchyConfig;
-use microscope_cpu::{ContextId, CoreConfig, Machine, MachineBuilder, Program, RunExit};
+use microscope_cpu::{ContextId, Machine, MachineBuilder, MachineCheckpoint, Program, RunExit};
 use microscope_enclave::{Enclave, EnclaveRegion};
-use microscope_mem::{AddressSpace, PhysMem, TlbHierarchyConfig, VAddr, WalkerConfig};
+use microscope_mem::{AddressSpace, PhysMem, VAddr};
 use microscope_os::{Kernel, MicroScopeModule, Process, SharedHandle};
 use microscope_probe::{metrics::MetricSource, EventKind, MetricSet, Probe, RecorderConfig};
 
@@ -106,37 +105,6 @@ impl SessionBuilder {
         &mut self.sim
     }
 
-    /// Overrides the core configuration.
-    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { core, .. })` instead")]
-    pub fn core_config(&mut self, cfg: CoreConfig) -> &mut Self {
-        self.sim.core = cfg;
-        self
-    }
-
-    /// Overrides the cache-hierarchy configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `sim(SimConfig { hierarchy, .. })` instead"
-    )]
-    pub fn hierarchy(&mut self, cfg: HierarchyConfig) -> &mut Self {
-        self.sim.hierarchy = cfg;
-        self
-    }
-
-    /// Overrides the TLB configuration.
-    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { tlb, .. })` instead")]
-    pub fn tlb(&mut self, cfg: TlbHierarchyConfig) -> &mut Self {
-        self.sim.tlb = cfg;
-        self
-    }
-
-    /// Overrides the walker configuration.
-    #[deprecated(since = "0.2.0", note = "use `sim(SimConfig { walker, .. })` instead")]
-    pub fn walker(&mut self, cfg: WalkerConfig) -> &mut Self {
-        self.sim.walker = cfg;
-        self
-    }
-
     /// Overrides the cross-layer probe configuration. Without this, the
     /// probe is enabled iff `CoreConfig::trace` is set.
     pub fn probe(&mut self, cfg: RecorderConfig) -> &mut Self {
@@ -214,6 +182,8 @@ impl SessionBuilder {
             monitor_ctx,
             monitor_buf,
             probe,
+            armed_checkpoint: None,
+            checkpoint_mid_run: false,
         })
     }
 }
@@ -225,6 +195,18 @@ pub struct AttackSession {
     monitor_ctx: Option<ContextId>,
     monitor_buf: Option<MonitorBuffer>,
     probe: Probe,
+    /// Snapshot taken the moment the replay handle went live — at the top
+    /// of the first run for build-time arming (so any host-side setup
+    /// between `build()` and `run()`, like step interrupts or seeded
+    /// memory, is included), or mid-run at the arming interrupt for
+    /// deferred arming. `rerun*` rewinds here instead of re-simulating the
+    /// victim from reset.
+    armed_checkpoint: Option<MachineCheckpoint>,
+    /// Whether the checkpoint was captured mid-run, i.e. *after* this run's
+    /// `SessionStart` event was emitted. A rerun re-emits `SessionStart`
+    /// only when it was not yet in the captured event stream, keeping cold
+    /// and rerun traces byte-identical.
+    checkpoint_mid_run: bool,
 }
 
 impl AttackSession {
@@ -251,10 +233,21 @@ impl AttackSession {
         &self.probe
     }
 
+    /// The armed-state checkpoint, once captured (see
+    /// [`AttackSession::rerun`]).
+    pub fn armed_checkpoint(&self) -> Option<&MachineCheckpoint> {
+        self.armed_checkpoint.as_ref()
+    }
+
     /// Runs for at most `max_cycles` and produces the report.
+    ///
+    /// The first run captures the armed-state checkpoint — up front when
+    /// the module armed at build time, or mid-run at the arming interrupt
+    /// when arming was deferred — enabling [`AttackSession::rerun`].
     pub fn run(&mut self, max_cycles: u64) -> AttackReport {
+        self.capture_if_armed();
         self.emit_session_start();
-        let exit = self.machine.run(max_cycles);
+        let exit = self.run_capturing(max_cycles);
         self.emit_run_end(exit);
         self.report(exit)
     }
@@ -262,12 +255,14 @@ impl AttackSession {
     /// Runs until the monitor halts (useful when the victim spins forever
     /// under replay), then reports. Fails with [`RunError::NoMonitor`]
     /// when the session has no monitor context.
+    ///
+    /// Captures the armed-state checkpoint exactly like
+    /// [`AttackSession::run`].
     pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
         let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor)?;
+        self.capture_if_armed();
         self.emit_session_start();
-        let done = self
-            .machine
-            .run_until(max_cycles, |m| m.context(ctx).halted());
+        let done = self.run_until_capturing(max_cycles, ctx);
         // The monitor finishing counts as completion even when the victim
         // is still captive under replay.
         let exit = if done {
@@ -277,6 +272,166 @@ impl AttackSession {
         };
         self.emit_run_end(exit);
         Ok(self.report(exit))
+    }
+
+    /// Rewinds to the armed checkpoint and re-runs. `max_cycles` counts
+    /// from session start exactly as in [`AttackSession::run`], so a rerun
+    /// observes the same cycle budget as a cold run but re-simulates only
+    /// the post-arm window — this is what makes MicroScope-style replay
+    /// O(window) instead of O(program).
+    ///
+    /// Fails with [`RunError::NoCheckpoint`] before the first `run*` call
+    /// (nothing has been captured yet) and with
+    /// [`RunError::CheckpointMismatch`] when the supervisor was swapped
+    /// since the capture.
+    pub fn rerun(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let budget = self.rewind(max_cycles)?;
+        if !self.checkpoint_mid_run {
+            self.emit_session_start();
+        }
+        let exit = self.machine.run(budget);
+        self.emit_run_end(exit);
+        Ok(self.report(exit))
+    }
+
+    /// Rewinds to the armed checkpoint and re-runs until the monitor
+    /// halts; the rerun analogue of
+    /// [`AttackSession::run_until_monitor_done`].
+    pub fn rerun_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor)?;
+        let budget = self.rewind(max_cycles)?;
+        if !self.checkpoint_mid_run {
+            self.emit_session_start();
+        }
+        let done = self.machine.run_until(budget, |m| m.context(ctx).halted());
+        let exit = if done {
+            RunExit::AllHalted
+        } else {
+            RunExit::MaxCycles
+        };
+        self.emit_run_end(exit);
+        Ok(self.report(exit))
+    }
+
+    /// Debug cross-check mode: re-executes the post-arm window twice —
+    /// once with the reference cycle-by-cycle loop, once with idle-cycle
+    /// fast-forward — and verifies the two [`AttackReport`]s are
+    /// byte-identical (their full `Debug` serialization compares equal).
+    /// Stops at monitor completion when the session has a monitor, at the
+    /// cycle budget otherwise. Returns the verified report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two executions diverge: that is a fast-forward
+    /// soundness bug in the simulator, never a property of the workload.
+    pub fn run_cross_checked(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let orig_ff = self.machine.config().fast_forward;
+        self.machine.set_fast_forward(false);
+        let reference = self.rerun_auto(max_cycles);
+        self.machine.set_fast_forward(true);
+        let fast = self.rerun_auto(max_cycles);
+        self.machine.set_fast_forward(orig_ff);
+        let (reference, fast) = (reference?, fast?);
+        let (a, b) = (format!("{reference:?}"), format!("{fast:?}"));
+        if a != b {
+            let at = a
+                .bytes()
+                .zip(b.bytes())
+                .position(|(x, y)| x != y)
+                .unwrap_or(a.len().min(b.len()));
+            let lo = at.saturating_sub(80);
+            panic!(
+                "fast-forward cross-check diverged at report byte {at}:\n  \
+                 cycle-by-cycle: …{}…\n  fast-forward:   …{}…",
+                &a[lo..(at + 80).min(a.len())],
+                &b[lo..(at + 80).min(b.len())],
+            );
+        }
+        Ok(fast)
+    }
+
+    fn rerun_auto(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        if self.monitor_ctx.is_some() {
+            self.rerun_until_monitor_done(max_cycles)
+        } else {
+            self.rerun(max_cycles)
+        }
+    }
+
+    /// Captures the armed checkpoint if the module is already armed and no
+    /// snapshot exists yet (build-time arming).
+    fn capture_if_armed(&mut self) {
+        if self.armed_checkpoint.is_none() && self.shared.borrow().armed {
+            self.armed_checkpoint = Some(self.machine.checkpoint());
+            self.checkpoint_mid_run = false;
+        }
+    }
+
+    /// Restores the armed checkpoint and returns the remaining cycle
+    /// budget (runs started at cycle 0, so `max_cycles` minus the capture
+    /// cycle).
+    fn rewind(&mut self, max_cycles: u64) -> Result<u64, RunError> {
+        let cp = self
+            .armed_checkpoint
+            .as_ref()
+            .ok_or(RunError::NoCheckpoint)?;
+        if !self.machine.restore(cp) {
+            return Err(RunError::CheckpointMismatch);
+        }
+        Ok(max_cycles.saturating_sub(cp.cycle()))
+    }
+
+    /// Advances the machine by `max_cycles`; with a pending deferred arm,
+    /// pauses at the arming interrupt to capture the checkpoint, then
+    /// continues with the remaining budget (the step sequence is identical
+    /// to an uninterrupted run).
+    fn run_capturing(&mut self, max_cycles: u64) -> RunExit {
+        if self.armed_checkpoint.is_some() || self.shared.borrow().armed {
+            return self.machine.run(max_cycles);
+        }
+        let end = self.machine.cycle().saturating_add(max_cycles);
+        let shared = self.shared.clone();
+        let armed = self
+            .machine
+            .run_until(max_cycles, move |_| shared.borrow().armed);
+        if !armed {
+            return if self.machine.all_halted() {
+                RunExit::AllHalted
+            } else {
+                RunExit::MaxCycles
+            };
+        }
+        self.armed_checkpoint = Some(self.machine.checkpoint());
+        self.checkpoint_mid_run = true;
+        let rest = end.saturating_sub(self.machine.cycle());
+        self.machine.run(rest)
+    }
+
+    /// [`AttackSession::run_capturing`], with the monitor-halted stop
+    /// condition layered on top. Returns whether the monitor finished.
+    fn run_until_capturing(&mut self, max_cycles: u64, ctx: ContextId) -> bool {
+        if self.armed_checkpoint.is_some() || self.shared.borrow().armed {
+            return self
+                .machine
+                .run_until(max_cycles, |m| m.context(ctx).halted());
+        }
+        let end = self.machine.cycle().saturating_add(max_cycles);
+        let shared = self.shared.clone();
+        let fired = self.machine.run_until(max_cycles, move |m| {
+            shared.borrow().armed || m.context(ctx).halted()
+        });
+        if self.shared.borrow().armed {
+            self.armed_checkpoint = Some(self.machine.checkpoint());
+            self.checkpoint_mid_run = true;
+        }
+        if self.machine.context(ctx).halted() {
+            return true;
+        }
+        if !fired {
+            return false;
+        }
+        let rest = end.saturating_sub(self.machine.cycle());
+        self.machine.run_until(rest, |m| m.context(ctx).halted())
     }
 
     fn emit_session_start(&self) {

@@ -71,6 +71,13 @@ pub enum SweepError {
     Run(RunError),
     /// Harness-specific failure, described in place.
     Point(String),
+    /// The point's runner panicked. The panic is caught at the point
+    /// boundary so one bad victim program cannot kill a 10k-point grid;
+    /// the label identifies the offender deterministically.
+    Panicked {
+        /// Label of the point whose runner panicked.
+        label: String,
+    },
 }
 
 impl From<BuildError> for SweepError {
@@ -91,6 +98,7 @@ impl fmt::Display for SweepError {
             SweepError::Build(e) => write!(f, "build: {e}"),
             SweepError::Run(e) => write!(f, "run: {e}"),
             SweepError::Point(msg) => write!(f, "{msg}"),
+            SweepError::Panicked { label } => write!(f, "point {label:?} panicked"),
         }
     }
 }
@@ -263,7 +271,10 @@ impl<'a, P, R> SweepSpec<'a, P, R> {
         let runner = &self.runner;
         let started = Instant::now();
         let mut outputs: Vec<(usize, Result<R, SweepError>)> = if jobs <= 1 {
-            points.iter().map(|pt| (pt.index, runner(pt))).collect()
+            points
+                .iter()
+                .map(|pt| (pt.index, run_point_isolated(runner, pt)))
+                .collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let done: Mutex<Vec<(usize, Result<R, SweepError>)>> =
@@ -276,12 +287,19 @@ impl<'a, P, R> SweepSpec<'a, P, R> {
                         // keyed (and later sorted) by grid index.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(pt) = points.get(i) else { break };
-                        let out = runner(pt);
-                        done.lock().expect("sweep results lock").push((i, out));
+                        let out = run_point_isolated(runner, pt);
+                        // A worker that died between lock() and push()
+                        // poisons the mutex; the results it already pushed
+                        // are intact, so recover them instead of cascading
+                        // the panic across the whole grid.
+                        done.lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push((i, out));
                     });
                 }
             });
-            done.into_inner().expect("sweep results lock")
+            done.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
         };
         let wall = started.elapsed();
         outputs.sort_by_key(|(i, _)| *i);
@@ -300,6 +318,21 @@ impl<'a, P, R> SweepSpec<'a, P, R> {
             results,
         }
     }
+}
+
+/// Runs one point with a panic firewall: a panicking runner becomes
+/// [`SweepError::Panicked`] for that point and the rest of the grid keeps
+/// going. The label (not the panic payload, whose formatting can vary) is
+/// what reaches the digest, so jobs-invariance is preserved.
+fn run_point_isolated<P, R>(
+    runner: &PointRunner<'_, P, R>,
+    pt: &SweepPoint<P>,
+) -> Result<R, SweepError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(pt))).unwrap_or_else(|_| {
+        Err(SweepError::Panicked {
+            label: pt.label.clone(),
+        })
+    })
 }
 
 /// One grid point plus what running it produced.
@@ -525,6 +558,38 @@ mod tests {
             Some(microscope_probe::MetricValue::Count(1))
         );
         assert!(outcome.digest().contains("error=injected"));
+    }
+
+    #[test]
+    fn panicking_point_is_isolated_and_digest_stays_jobs_invariant() {
+        let run = |jobs: usize| {
+            SweepSpec::new("panicky", |pt: &SweepPoint<bool>| {
+                if pt.payload {
+                    panic!("injected panic in point {}", pt.index);
+                }
+                Ok(Plain(pt.seed))
+            })
+            .point("ok0", SimConfig::default(), false)
+            .point("boom", SimConfig::default(), true)
+            .point("ok2", SimConfig::default(), false)
+            .jobs(jobs)
+            .run()
+        };
+        let serial = run(1);
+        let parallel = run(3);
+        // The grid survives: both healthy points complete, the panicking
+        // one is reported in place under its label.
+        assert_eq!(parallel.ok().count(), 2);
+        let errs: Vec<_> = parallel.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(
+            errs[0].1,
+            &SweepError::Panicked {
+                label: "boom".into()
+            }
+        );
+        assert!(parallel.digest().contains("panicked"));
+        assert_eq!(serial.digest(), parallel.digest());
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct CoreConfig {
     pub rdrand_refill_log2: u32,
     /// Whether to record a detailed event trace.
     pub trace: bool,
+    /// Idle-cycle fast-forward: when every context is stalled until a known
+    /// cycle (a DRAM fill or page walk completing, a fault handler
+    /// returning), [`crate::Machine::run`] jumps the clock to the next
+    /// event instead of ticking through the dead cycles. The skip is exact
+    /// — a cycle is only skipped when provably *nothing* can retire, issue,
+    /// complete or fetch in it — so all observable state (reports, traces,
+    /// statistics, timer reads) is byte-identical to cycle-by-cycle
+    /// execution. Disable to force the reference cycle-by-cycle loop (the
+    /// cross-check baseline).
+    pub fast_forward: bool,
 }
 
 impl Default for CoreConfig {
@@ -90,6 +100,7 @@ impl Default for CoreConfig {
             rdrand_seed: 0x5ca1ab1e,
             rdrand_refill_log2: 14,
             trace: false,
+            fast_forward: true,
         }
     }
 }

@@ -17,7 +17,7 @@ use microscope_mem::{
     AddressSpace, PageFault, PageWalker, PhysMem, TlbEntry, TlbHierarchy, TlbHierarchyConfig,
     VAddr, WalkerConfig, PAGE_BYTES,
 };
-use microscope_probe::{Probe, RecorderConfig};
+use microscope_probe::{Probe, Recorder, RecorderConfig};
 
 /// A pending (unissued) store: its ROB index plus the virtual byte range
 /// `[lo, hi)` its address operand resolves to, when already known.
@@ -38,6 +38,48 @@ pub enum RunExit {
     AllHalted,
     /// The cycle budget was exhausted first.
     MaxCycles,
+}
+
+/// A full architectural + microarchitectural snapshot of a [`Machine`].
+///
+/// Captures every context (architectural registers, ROB, RAT, in-flight
+/// transaction, fetch/stall state), the privileged hardware view (physical
+/// memory and page tables, cache arrays, TLBs, the page-walk cache, DRAM
+/// bank state, branch predictor), port/divider occupancy, the supervisor's
+/// private state (via [`Supervisor::checkpoint`]) and the probe recorder
+/// (event ring, drop counter, ambient stamps).
+///
+/// A checkpoint is independent of the machine it came from: restoring is a
+/// clone of the captured state, so one checkpoint serves any number of
+/// [`Machine::restore`] calls. This is what makes a MicroScope replay
+/// O(speculation window) instead of O(whole program): the attack session
+/// snapshots the machine at the moment the replay handle is armed and
+/// rewinds to it instead of re-simulating the victim from reset.
+pub struct MachineCheckpoint {
+    cycle: u64,
+    next_seq: u64,
+    hw: HwParts,
+    ports: Ports,
+    contexts: Vec<Context>,
+    supervisor: Option<Box<dyn std::any::Any>>,
+    recorder: Option<Recorder>,
+}
+
+impl std::fmt::Debug for MachineCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineCheckpoint")
+            .field("cycle", &self.cycle)
+            .field("contexts", &self.contexts.len())
+            .field("has_supervisor_state", &self.supervisor.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MachineCheckpoint {
+    /// Cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
 }
 
 /// Builder for [`Machine`].
@@ -336,34 +378,188 @@ impl Machine {
         self.contexts.iter().all(|c| c.halted)
     }
 
-    /// Runs until every context halts or `max_cycles` elapse.
-    pub fn run(&mut self, max_cycles: u64) -> RunExit {
-        for _ in 0..max_cycles {
-            if self.all_halted() {
-                return RunExit::AllHalted;
-            }
-            self.step();
-        }
-        if self.all_halted() {
-            RunExit::AllHalted
-        } else {
-            RunExit::MaxCycles
+    /// Captures a complete, restorable snapshot of the machine. See
+    /// [`MachineCheckpoint`] for what is included.
+    pub fn checkpoint(&self) -> MachineCheckpoint {
+        MachineCheckpoint {
+            cycle: self.cycle,
+            next_seq: self.next_seq,
+            hw: self.hw.clone(),
+            ports: self.ports.clone(),
+            contexts: self.contexts.clone(),
+            supervisor: self.supervisor.checkpoint(),
+            recorder: self.tracer.probe().snapshot(),
         }
     }
 
-    /// Runs until `pred` holds (checked each cycle) or `max_cycles` elapse.
-    /// Returns whether the predicate fired.
+    /// Rewinds the machine to a [`MachineCheckpoint`]. The checkpoint is
+    /// not consumed; restoring clones it, so the same snapshot can seed any
+    /// number of re-executions.
+    ///
+    /// Returns `false` when the snapshot carries supervisor state that the
+    /// *currently installed* supervisor does not recognize (e.g. the
+    /// supervisor was swapped since the capture) — hardware and context
+    /// state are restored regardless. A snapshot with no supervisor state
+    /// (a stateless supervisor at capture time) restores trivially.
+    pub fn restore(&mut self, cp: &MachineCheckpoint) -> bool {
+        self.cycle = cp.cycle;
+        self.next_seq = cp.next_seq;
+        self.hw = cp.hw.clone();
+        self.ports = cp.ports.clone();
+        self.contexts = cp.contexts.clone();
+        self.tracer.probe().restore(&cp.recorder);
+        match &cp.supervisor {
+            Some(state) => self.supervisor.restore_checkpoint(state.as_ref()),
+            None => true,
+        }
+    }
+
+    /// Toggles idle-cycle fast-forward at run time (see
+    /// [`CoreConfig::fast_forward`]). Cross-check harnesses use this to
+    /// drive the same machine with and without the optimization.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.cfg.fast_forward = on;
+    }
+
+    /// Runs until every context halts or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let end = self.cycle.saturating_add(max_cycles);
+        let mut prev_sig = u64::MAX;
+        loop {
+            if self.all_halted() {
+                return RunExit::AllHalted;
+            }
+            if self.cycle >= end {
+                return RunExit::MaxCycles;
+            }
+            self.advance(end, &mut prev_sig);
+        }
+    }
+
+    /// Runs until `pred` holds or `max_cycles` elapse. Returns whether the
+    /// predicate fired.
+    ///
+    /// The predicate is evaluated whenever machine state may have changed.
+    /// With [`CoreConfig::fast_forward`] enabled, cycles in which provably
+    /// nothing happens are jumped over without re-evaluating it — exact for
+    /// any predicate over machine *state*, but a predicate over the bare
+    /// cycle counter may be observed a few cycles late.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Machine) -> bool) -> bool {
-        for _ in 0..max_cycles {
+        let end = self.cycle.saturating_add(max_cycles);
+        let mut prev_sig = u64::MAX;
+        loop {
             if pred(self) {
                 return true;
             }
-            if self.all_halted() {
+            if self.all_halted() || self.cycle >= end {
                 return pred(self);
             }
-            self.step();
+            self.advance(end, &mut prev_sig);
         }
-        pred(self)
+    }
+
+    /// One scheduling quantum: a possible idle-cycle jump followed by one
+    /// step. `prev_sig` gates the O(ROB) fast-forward scan to stretches
+    /// where the previous step made no forward progress, so busy cycles pay
+    /// only a cheap counter comparison.
+    fn advance(&mut self, end: u64, prev_sig: &mut u64) {
+        if self.cfg.fast_forward && *prev_sig == self.progress_signature() {
+            self.fast_forward(end);
+            if self.cycle >= end {
+                return;
+            }
+        }
+        self.step();
+        *prev_sig = self.progress_signature();
+    }
+
+    /// A cheap monotone counter that moves whenever a step retires,
+    /// dispatches or issues anything. Two equal readings around a step mean
+    /// the step was (close to) idle and fast-forward is worth attempting.
+    fn progress_signature(&self) -> u64 {
+        let mut sig = 0u64;
+        for c in &self.contexts {
+            sig = sig
+                .wrapping_add(c.stats.retired)
+                .wrapping_add(c.stats.dispatched)
+                .wrapping_add(c.stats.squashed);
+        }
+        for n in self.ports.port_issues() {
+            sig = sig.wrapping_add(n);
+        }
+        sig
+    }
+
+    /// Idle-cycle fast-forward. When the next step provably retires,
+    /// completes, issues and fetches nothing — every context is waiting on
+    /// an in-flight operation (DRAM fill, page walk, divider) or a fetch
+    /// stall (fault handler, squash redirect) whose end cycle is known —
+    /// jump the clock to just before the earliest such wake-up so the next
+    /// step lands exactly on it. With nothing in flight at all, spin out
+    /// the whole budget.
+    ///
+    /// The skip is exact: all skipped cycles would have been no-ops, and
+    /// the only state they touch (per-cycle port and L1-bank claims) is
+    /// cleared at the start of every cycle and observable by nothing.
+    /// Conditions that depend on cross-context state each cycle (an open
+    /// transaction's conflict check) disqualify the skip entirely.
+    fn fast_forward(&mut self, end: u64) {
+        let now = self.cycle;
+        // Earliest future cycle at which some context can make progress.
+        let mut wake: Option<u64> = None;
+        let note = |wake: &mut Option<u64>, at: u64| {
+            *wake = Some(wake.map_or(at, |w| w.min(at)));
+        };
+        for ctx in &self.contexts {
+            if ctx.halted {
+                continue;
+            }
+            // Transactions are conflict-checked every cycle against cache
+            // state another context may mutate: never skip over one.
+            if ctx.txn.is_some() {
+                return;
+            }
+            // The retire stage would halt this drained context next step.
+            if ctx.fetch_stopped && ctx.rob.is_empty() {
+                return;
+            }
+            if let Some(head) = ctx.rob.front() {
+                // The head retires or delivers its fault next step.
+                if matches!(head.state, RobState::Done | RobState::Faulted) {
+                    return;
+                }
+            }
+            for e in &ctx.rob {
+                match e.state {
+                    // An issue *attempt* — even one that loses port
+                    // arbitration and charges divider stall cycles — is
+                    // progress.
+                    RobState::Waiting if e.srcs_ready() => return,
+                    RobState::Executing { done_at } => {
+                        if done_at <= now + 1 {
+                            return;
+                        }
+                        note(&mut wake, done_at);
+                    }
+                    _ => {}
+                }
+            }
+            if !ctx.fetch_stopped && ctx.rob.len() < self.cfg.rob_size {
+                if ctx.fetch_stalled_until <= now + 1 {
+                    return;
+                }
+                note(&mut wake, ctx.fetch_stalled_until);
+            }
+        }
+        // Jump to the cycle *before* the wake event so the next step lands
+        // exactly on it.
+        let target = wake.map_or(end, |w| (w - 1).min(end));
+        if target > self.cycle {
+            self.cycle = target;
+            // Cold execution stamps the probe's ambient cycle every tick;
+            // keep it in sync across the jump.
+            self.tracer.probe().set_cycle(target);
+        }
     }
 
     /// Advances the machine by one cycle.
@@ -442,8 +638,13 @@ impl Machine {
     }
 
     fn commit_head(&mut self, ci: usize, now: u64) -> bool {
-        let entry = self.contexts[ci].rob.front().expect("head exists").clone();
+        // Every path below retires the head, so take it by value up front —
+        // moving the entry out of the ROB is pointer-sized bookkeeping,
+        // where cloning it would heap-copy the operand vector every single
+        // retirement (the hottest loop in the simulator).
+        let entry = self.contexts[ci].rob.pop_front().expect("head exists");
         let ctx = &mut self.contexts[ci];
+        ctx.stats.retired += 1;
         // Architectural register write.
         if let Some(dst) = entry.dst() {
             ctx.arch_regs[dst.index()] = entry.value;
@@ -503,8 +704,6 @@ impl Machine {
                 }
             }
             Inst::XAbort { code } if self.contexts[ci].txn.is_some() => {
-                self.contexts[ci].rob.pop_front();
-                self.contexts[ci].stats.retired += 1;
                 self.txn_abort(ci, abort_code::EXPLICIT | (u64::from(code) << 8), now);
                 return false;
             }
@@ -513,14 +712,11 @@ impl Machine {
                 ctx.rob.clear();
                 ctx.rat = [None; Reg::COUNT];
                 ctx.halted = true;
-                ctx.stats.retired += 1;
                 return false;
             }
             _ => {}
         }
         let ctx = &mut self.contexts[ci];
-        ctx.rob.pop_front();
-        ctx.stats.retired += 1;
         // Stepping interrupt (CacheZoom/SGX-Step style).
         if let Some(every) = ctx.step_every {
             ctx.retires_since_step += 1;

@@ -17,7 +17,12 @@ use microscope_mem::{PageFault, PageWalker, PhysMem, TlbHierarchy};
 /// All hardware state a supervisor may touch while handling an event.
 ///
 /// Fields are public by design: this is the "ring 0 view" of the machine.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: a [`crate::MachineCheckpoint`] snapshots the whole
+/// privileged view by cloning it. Probe handles inside the cloned parts
+/// still point at the live shared recorder (event emission is a *bus*, not
+/// state), which is exactly what a restore wants.
+#[derive(Clone, Debug)]
 pub struct HwParts {
     /// Physical memory (page tables live here).
     pub phys: PhysMem,
@@ -101,6 +106,21 @@ pub trait Supervisor {
     fn on_interrupt(&mut self, _hw: &mut HwParts, _ev: &InterruptEvent) -> SupervisorAction {
         SupervisorAction::default()
     }
+
+    /// Packages the supervisor's mutable state for a
+    /// [`crate::MachineCheckpoint`]. Stateless supervisors keep the default
+    /// `None`; stateful ones (the MicroScope kernel) return an opaque box
+    /// that [`Supervisor::restore_checkpoint`] knows how to unpack.
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any>> {
+        None
+    }
+
+    /// Restores state captured by [`Supervisor::checkpoint`]. Returns
+    /// whether the snapshot was recognized and applied; the default
+    /// (stateless) implementation accepts nothing.
+    fn restore_checkpoint(&mut self, _state: &dyn std::any::Any) -> bool {
+        false
+    }
 }
 
 /// A supervisor for fault-free workloads; it panics on any page fault so
@@ -157,5 +177,19 @@ impl Supervisor for HonestSupervisor {
         }
         hw.tlb.invlpg(ev.fault.vaddr, self.aspace.pcid());
         SupervisorAction::cycles(self.handler_cycles)
+    }
+
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any>> {
+        Some(Box::new(*self))
+    }
+
+    fn restore_checkpoint(&mut self, state: &dyn std::any::Any) -> bool {
+        match state.downcast_ref::<HonestSupervisor>() {
+            Some(saved) => {
+                *self = *saved;
+                true
+            }
+            None => false,
+        }
     }
 }

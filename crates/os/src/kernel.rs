@@ -1,6 +1,6 @@
 //! The kernel: process table, fault routing and the honest demand pager.
 
-use crate::module::MicroScopeModule;
+use crate::module::{MicroScopeModule, ModuleCheckpoint};
 use microscope_cpu::{
     ContextId, FaultEvent, HwParts, InterruptEvent, Supervisor, SupervisorAction,
 };
@@ -8,7 +8,7 @@ use microscope_enclave::Enclave;
 use microscope_mem::{AddressSpace, PteFlags};
 
 /// Kernel-side view of one simulated process (one hardware context).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Process {
     /// The process address space.
     pub aspace: AddressSpace,
@@ -99,6 +99,22 @@ impl Kernel {
     }
 }
 
+/// Snapshot of the kernel's mutable state, produced by the kernel's
+/// [`Supervisor::checkpoint`] implementation and carried inside a
+/// [`microscope_cpu::MachineCheckpoint`]: the process table (address-space
+/// roots and enclave AEX accounting), the module's full state, fault and
+/// interrupt counters, and any pending deferred-arm trigger.
+#[derive(Clone, Debug)]
+pub struct KernelCheckpoint {
+    procs: Vec<Process>,
+    module: ModuleCheckpoint,
+    honest_handler_cycles: u64,
+    interrupt_handler_cycles: u64,
+    honest_faults: u64,
+    interrupts: u64,
+    arm_on_interrupt: Option<ContextId>,
+}
+
 impl Supervisor for Kernel {
     fn on_page_fault(&mut self, hw: &mut HwParts, ev: &FaultEvent) -> SupervisorAction {
         let proc = &mut self.procs[ev.ctx.0];
@@ -145,6 +161,32 @@ impl Supervisor for Kernel {
             };
         }
         SupervisorAction::cycles(self.interrupt_handler_cycles)
+    }
+
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any>> {
+        Some(Box::new(KernelCheckpoint {
+            procs: self.procs.clone(),
+            module: self.module.checkpoint(),
+            honest_handler_cycles: self.honest_handler_cycles,
+            interrupt_handler_cycles: self.interrupt_handler_cycles,
+            honest_faults: self.honest_faults,
+            interrupts: self.interrupts,
+            arm_on_interrupt: self.arm_on_interrupt,
+        }))
+    }
+
+    fn restore_checkpoint(&mut self, state: &dyn std::any::Any) -> bool {
+        let Some(cp) = state.downcast_ref::<KernelCheckpoint>() else {
+            return false;
+        };
+        self.procs = cp.procs.clone();
+        self.module.restore(&cp.module);
+        self.honest_handler_cycles = cp.honest_handler_cycles;
+        self.interrupt_handler_cycles = cp.interrupt_handler_cycles;
+        self.honest_faults = cp.honest_faults;
+        self.interrupts = cp.interrupts;
+        self.arm_on_interrupt = cp.arm_on_interrupt;
+        true
     }
 }
 

@@ -28,8 +28,8 @@ mod ops;
 mod recipe;
 mod shared;
 
-pub use kernel::{Kernel, Process};
-pub use module::MicroScopeModule;
+pub use kernel::{Kernel, KernelCheckpoint, Process};
+pub use module::{MicroScopeModule, ModuleCheckpoint};
 pub use ops::{
     flush_translation, prime_lines, probe_latencies, set_walk_length, translate_ignoring_present,
 };

@@ -162,6 +162,7 @@ impl MicroScopeModule {
     /// Arms every installed recipe: faults its replay handle and applies
     /// walk tuning and priming. Call once before the victim resumes.
     pub fn arm(&mut self, hw: &mut HwParts, aspace: AddressSpace) {
+        self.shared.borrow_mut().armed = true;
         for (idx, (recipe, state)) in self.recipes.iter_mut().enumerate() {
             if state.finished || state.armed {
                 continue;
@@ -413,10 +414,38 @@ impl MicroScopeModule {
         self.recipes.iter().all(|(_, s)| s.finished)
     }
 
+    /// Captures the module's mutable state — per-recipe progress and the
+    /// shared observation log — for a machine checkpoint.
+    pub fn checkpoint(&self) -> ModuleCheckpoint {
+        ModuleCheckpoint {
+            recipes: self.recipes.clone(),
+            shared: self.shared.borrow().clone(),
+        }
+    }
+
+    /// Rewinds the module to a [`MicroScopeModule::checkpoint`]. The
+    /// restore writes *through* the [`SharedHandle`], so host-side clones
+    /// of the handle observe the rewound observation state too.
+    pub fn restore(&mut self, cp: &ModuleCheckpoint) {
+        self.recipes = cp.recipes.clone();
+        *self.shared.borrow_mut() = cp.shared.clone();
+    }
+
     /// A snapshot of the shared observation state.
     pub fn snapshot(&self) -> ModuleShared {
         self.shared.borrow().clone()
     }
+}
+
+/// Opaque snapshot of a [`MicroScopeModule`]'s mutable state: every
+/// installed recipe with its replay/pivot progress (phase, counts,
+/// confidence streaks) plus the shared observation log. Restoring one via
+/// [`MicroScopeModule::restore`] clones it, so a single snapshot seeds any
+/// number of re-executions.
+#[derive(Clone, Debug)]
+pub struct ModuleCheckpoint {
+    recipes: Vec<(AttackRecipe, RecipeState)>,
+    shared: ModuleShared,
 }
 
 fn apply_tuning(hw: &mut HwParts, aspace: AddressSpace, addr: VAddr, walk: WalkTuning) {

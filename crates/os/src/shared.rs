@@ -51,6 +51,11 @@ pub struct ModuleShared {
     pub steps: Vec<u64>,
     /// Whether each recipe has disarmed itself.
     pub finished: Vec<bool>,
+    /// Whether [`crate::MicroScopeModule::arm`] has run. Host-side tooling
+    /// uses this to detect the arming point of a *deferred* arm (one
+    /// triggered mid-run by a stepping interrupt) — e.g. to capture a
+    /// machine checkpoint exactly when the replay handle goes live.
+    pub armed: bool,
 }
 
 /// A cloneable handle to the module's shared state.

@@ -253,6 +253,22 @@ impl Probe {
             rec.borrow_mut().clear();
         }
     }
+
+    /// A copy of the whole recorder state — ring contents, drop counter and
+    /// the ambient cycle/replay stamps. `None` for a disabled probe. Pair
+    /// with [`Probe::restore`] to rewind the event stream to a checkpoint.
+    pub fn snapshot(&self) -> Option<Recorder> {
+        self.inner.as_ref().map(|rec| rec.borrow().clone())
+    }
+
+    /// Rewinds the shared recorder to a [`Probe::snapshot`]. Every clone of
+    /// this probe observes the restored state (they share one ring). A
+    /// `None` snapshot (disabled probe at capture time) is a no-op.
+    pub fn restore(&self, snapshot: &Option<Recorder>) {
+        if let (Some(rec), Some(snap)) = (&self.inner, snapshot) {
+            *rec.borrow_mut() = snap.clone();
+        }
+    }
 }
 
 #[cfg(test)]

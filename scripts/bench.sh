@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Regenerates the perf trajectory point: runs the full-size perf_bench
+# workloads (fig10 replay throughput cold vs checkpointed+fast-forward,
+# table1 sweep points/sec, sec8 plan validations/sec) and rewrites
+# BENCH_replay.json at the repo root. Run from the repo root on a quiet
+# machine; the binary itself fails if the fig10 warm/cold speedup drops
+# below the 3x regression floor.
+set -eu
+
+echo "== cargo build --release -p microscope-bench =="
+cargo build --release -p microscope-bench
+
+echo "== perf_bench (full) =="
+./target/release/perf_bench --out BENCH_replay.json
+
+echo "== schema check =="
+./target/release/perf_bench --validate BENCH_replay.json
+
+echo "bench OK — BENCH_replay.json updated"

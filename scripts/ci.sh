@@ -35,4 +35,18 @@ cargo run -q --release -p microscope-bench --bin sec8_analyze -- --audit-defense
 echo "== analyzer soundness property =="
 cargo test -q --release --test analyze_soundness
 
+echo "== perf bench smoke + BENCH_replay.json schema =="
+# Shrunken workloads of the perf-regression harness, written to a scratch
+# path so CI never dirties the committed baseline, then schema-validated.
+# A missing or malformed emit fails the build; the full-size run (and the
+# 3x replays/sec regression gate) is scripts/bench.sh.
+BENCH_TMP="${TMPDIR:-/tmp}/BENCH_replay.smoke.json"
+rm -f "$BENCH_TMP"
+cargo run -q --release -p microscope-bench --bin perf_bench -- --smoke --out "$BENCH_TMP"
+test -s "$BENCH_TMP" || { echo "perf_bench emitted nothing" >&2; exit 1; }
+cargo run -q --release -p microscope-bench --bin perf_bench -- --validate "$BENCH_TMP"
+rm -f "$BENCH_TMP"
+# The committed baseline at the repo root must stay parseable too.
+cargo run -q --release -p microscope-bench --bin perf_bench -- --validate BENCH_replay.json
+
 echo "CI OK"

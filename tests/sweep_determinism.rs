@@ -108,30 +108,26 @@ proptest! {
     }
 }
 
-/// The deprecated four-setter surface still works (delegating into
-/// `SimConfig`) so downstream code migrates on its own schedule.
+/// `SimConfig` is the single configuration surface: piecewise overrides go
+/// through `sim()`/`sim_mut()` (the old per-layer delegate setters are
+/// gone — they let late calls silently clobber a supplied `SimConfig`).
 #[test]
-#[allow(deprecated)]
-fn deprecated_setters_delegate_to_sim_config() {
-    use microscope::cache::HierarchyConfig;
-    use microscope::mem::{TlbHierarchyConfig, WalkerConfig};
-
+fn sim_config_is_the_single_configuration_surface() {
     let mut b = SessionBuilder::new();
     let core = CoreConfig {
         rob_size: 96,
         ..CoreConfig::default()
     };
-    b.core_config(core);
-    b.hierarchy(HierarchyConfig::default());
-    b.tlb(TlbHierarchyConfig::default());
-    b.walker(WalkerConfig::default());
+    b.sim(SimConfig::new());
+    // Targeted post-hoc adjustment goes through sim_mut, in place.
+    b.sim_mut().core = core;
     assert_eq!(
         *b.sim_mut(),
         SimConfig::new().with_core(core),
-        "old setters must write through to the consolidated SimConfig"
+        "sim()/sim_mut() writes land in the consolidated SimConfig"
     );
 
-    // And a session built through the old surface still attacks fine.
+    // And a session configured through SimConfig attacks fine.
     let aspace = b.new_aspace(1);
     let handle = VAddr(0x1000_0000);
     aspace.alloc_map(b.phys(), handle, 4096, PteFlags::user_data());
