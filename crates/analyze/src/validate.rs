@@ -5,7 +5,7 @@
 //! shadow.
 
 use crate::plan::{AttackPlan, HandleKind};
-use microscope_core::{BuildError, SessionBuilder};
+use microscope_core::{BuildError, RunRequest, SessionBuilder};
 use microscope_cpu::ContextId;
 use microscope_mem::VAddr;
 use microscope_probe::RecorderConfig;
@@ -120,17 +120,22 @@ pub fn validate_plan(
         recipe.max_steps = if pivot.is_some() { 64 } else { 1 };
     }
     let mut session = builder.build().map_err(ValidateError::Build)?;
-    let report = session.run(max_cycles);
+    let report = session
+        .execute(RunRequest::cold(max_cycles))
+        .expect("a cold run cannot fail");
     let executions = report.executions_of(0, plan.transmitter.pc);
     let replays: u64 = report.module.replays.iter().sum();
     // Cross-check the checkpoint/fast-replay engine on this plan: rewind
     // to the armed snapshot and re-run. A rerun that disagrees with the
     // cold measurement means the fast path cannot be trusted for sweeps
     // over this victim, which the caller should know about.
-    let replay_reconfirmed = session.rerun(max_cycles).ok().map(|again| {
-        again.executions_of(0, plan.transmitter.pc) == executions
-            && again.module.replays.iter().sum::<u64>() == replays
-    });
+    let replay_reconfirmed = session
+        .execute(RunRequest::cold(max_cycles).from_checkpoint())
+        .ok()
+        .map(|again| {
+            again.executions_of(0, plan.transmitter.pc) == executions
+                && again.module.replays.iter().sum::<u64>() == replays
+        });
     Ok(PlanValidation {
         handle_pc: plan.handle.pc,
         transmitter_pc: plan.transmitter.pc,
@@ -155,6 +160,8 @@ pub fn baseline_executions(
         capacity: 500_000,
     });
     let mut session = builder.build().map_err(ValidateError::Build)?;
-    let report = session.run(max_cycles);
+    let report = session
+        .execute(RunRequest::cold(max_cycles))
+        .expect("a cold run cannot fail");
     Ok(report.executions_of(0, pc))
 }

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use microscope_channels::port_contention::{run_attack, PortContentionConfig};
-use microscope_core::SessionBuilder;
+use microscope_core::{RunRequest, SessionBuilder};
 use microscope_cpu::{Assembler, ContextId, Reg};
 use microscope_mem::VAddr;
 use microscope_os::WalkTuning;
@@ -34,7 +34,9 @@ fn bench_replay_cycle(c: &mut Criterion) {
                     builder.build().expect("bench session has a victim")
                 },
                 |mut session| {
-                    let report = session.run(50_000_000);
+                    let report = session
+                        .execute(RunRequest::cold(50_000_000))
+                        .expect("a cold run cannot fail");
                     assert_eq!(report.replays(), replays);
                     std::hint::black_box(report.cycles)
                 },

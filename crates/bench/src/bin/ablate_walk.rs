@@ -11,7 +11,7 @@
 
 use microscope_bench::{extract_jobs, parse_or_exit, print_table, shape_check};
 use microscope_core::sweep::{SweepPoint, SweepSpec};
-use microscope_core::{SessionBuilder, SimConfig};
+use microscope_core::{RunRequest, SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, Reg};
 use microscope_mem::{VAddr, LINE_BYTES};
 use microscope_os::WalkTuning;
@@ -62,7 +62,9 @@ fn measure(sim: SimConfig, walk: WalkTuning) -> (u64, usize) {
         recipe.monitor_addrs = lines.clone();
     }
     let mut session = b.build().expect("ablation session has a victim");
-    let report = session.run(20_000_000);
+    let report = session
+        .execute(RunRequest::cold(20_000_000))
+        .expect("a cold run cannot fail");
     // Second observation: primed before, so hits == the window's reach.
     let leaked = report
         .module

@@ -18,6 +18,12 @@
 //! * **sec8** — static attack-plan analysis plus in-simulator
 //!   `validate_plan` confirmation (which itself exercises a checkpointed
 //!   re-run). Measures **plans validated/sec**.
+//! * **checkpoint** — the copy-on-write snapshot engine in isolation.
+//!   Measures **checkpoint_capture_per_sec** at a base footprint and at
+//!   8x the resident pages (`capture_flatness_8x` near 1.0 demonstrates
+//!   capture is O(dirty pages), not O(footprint)), plus
+//!   **restore_pages_per_replay** — how many pages a warm rewind
+//!   actually swaps.
 //!
 //! Usage: `perf_bench [--smoke] [--out PATH] [--validate PATH]`.
 //! `--smoke` shrinks every workload for CI; `--validate` parses an
@@ -28,8 +34,9 @@ use microscope_bench::{extract_flag, extract_flag_value, parse_or_exit};
 use microscope_channels::port_contention::{self, PortContentionConfig};
 use microscope_channels::taxonomy;
 use microscope_core::sweep::{SweepPoint, SweepSpec};
-use microscope_core::{SessionBuilder, SimConfig};
-use microscope_mem::VAddr;
+use microscope_core::{AttackSession, RunRequest, SessionBuilder, SimConfig};
+use microscope_cpu::{Assembler, ContextId, Reg};
+use microscope_mem::{PAddr, PteFlags, VAddr, PAGE_BYTES};
 use microscope_os::WalkTuning;
 use std::time::Instant;
 
@@ -65,7 +72,12 @@ fn main() {
 
     let mode = if smoke { "smoke" } else { "full" };
     println!("== perf_bench ({mode}) ==\n");
-    let workloads = vec![bench_fig10(smoke), bench_table1(smoke), bench_sec8(smoke)];
+    let workloads = vec![
+        bench_fig10(smoke),
+        bench_table1(smoke),
+        bench_sec8(smoke),
+        bench_checkpoint(smoke),
+    ];
     for w in &workloads {
         println!("[{}]", w.name);
         for (k, v) in &w.metrics {
@@ -114,7 +126,9 @@ fn bench_fig10(smoke: bool) -> Workload {
     for _ in 0..iters {
         let mut session = port_contention::build_session(true, &cfg);
         session.machine_mut().set_fast_forward(false);
-        let report = session.run(cfg.max_cycles);
+        let report = session
+            .execute(RunRequest::cold(cfg.max_cycles))
+            .expect("a cold run cannot fail");
         cold_replays += report.replays();
         cold_cycles += report.cycles;
     }
@@ -123,12 +137,14 @@ fn bench_fig10(smoke: bool) -> Workload {
     // Warm: one session; the first run captures the armed checkpoint, then
     // every iteration rewinds to it and re-runs with fast-forward on.
     let mut session = port_contention::build_session(true, &cfg);
-    let first = session.run(cfg.max_cycles);
+    let first = session
+        .execute(RunRequest::cold(cfg.max_cycles))
+        .expect("a cold run cannot fail");
     let t = Instant::now();
     let (mut warm_replays, mut warm_cycles) = (0u64, 0u64);
     for _ in 0..iters {
         let report = session
-            .rerun(cfg.max_cycles)
+            .execute(RunRequest::cold(cfg.max_cycles).from_checkpoint())
             .expect("first run armed the replay handle");
         assert_eq!(
             report.replays(),
@@ -236,6 +252,90 @@ fn bench_sec8(smoke: bool) -> Workload {
     }
 }
 
+/// Builds the small checkpoint-bench victim, with `extra_pages` frames
+/// materialized beyond it so the resident footprint can be scaled
+/// without changing the workload.
+fn checkpoint_session(extra_pages: u64) -> AttackSession {
+    let mut b = SessionBuilder::new();
+    let aspace = b.new_aspace(1);
+    let handle = VAddr(0x1000_0000);
+    aspace.alloc_map(b.phys(), handle, 4096, PteFlags::user_data());
+    let mut asm = Assembler::new();
+    asm.imm(Reg(1), handle.0).load(Reg(2), Reg(1), 0).halt();
+    b.victim(asm.finish(), aspace);
+    let id = b.module().provide_replay_handle(ContextId(0), handle);
+    b.module().recipe_mut(id).replays_per_step = 2;
+    let base = b.phys().alloc_frames(extra_pages);
+    for i in 0..extra_pages {
+        b.phys().write_u8(PAddr((base + i) * PAGE_BYTES), 0xA5);
+    }
+    b.build().expect("checkpoint bench session has a victim")
+}
+
+/// Times `iters` checkpoint captures on a session with `extra_pages`
+/// of materialized physical memory, returning captures/sec.
+fn capture_rate(extra_pages: u64, iters: u64) -> f64 {
+    let session = checkpoint_session(extra_pages);
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(session.machine().checkpoint());
+    }
+    iters as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// The CoW snapshot engine in isolation: capture throughput (flat in the
+/// resident footprint) and the page cost of a warm rewind.
+fn bench_checkpoint(smoke: bool) -> Workload {
+    let iters = if smoke { 20_000 } else { 200_000 };
+    let base_pages = 64u64;
+    // Warm-up pass absorbs one-time costs (allocator, cache state), then
+    // measure base and 8x resident footprints.
+    capture_rate(base_pages, iters / 10);
+    let rate_base = capture_rate(base_pages, iters);
+    let rate_8x = capture_rate(base_pages * 8, iters);
+
+    // Warm rewinds on the fig10 session: how many pages does a restore
+    // actually swap, and how many get copy-on-write-duplicated per replay?
+    let cfg = PortContentionConfig {
+        samples: 32,
+        replays: 60,
+        handler_cycles: 800,
+        walk: WalkTuning::Long,
+        max_cycles: 30_000_000,
+        ambient_interrupt_retires: None,
+        probe: None,
+    };
+    let replays = if smoke { 4 } else { 12 };
+    let mut session = port_contention::build_session(true, &cfg);
+    session
+        .execute(RunRequest::cold(cfg.max_cycles))
+        .expect("a cold run cannot fail");
+    let before = session.machine().checkpoint_stats();
+    for _ in 0..replays {
+        session
+            .execute(RunRequest::cold(cfg.max_cycles).from_checkpoint())
+            .expect("first run armed the replay handle");
+    }
+    let after = session.machine().checkpoint_stats();
+    let restores = (after.restores - before.restores).max(1);
+    let restore_pages_per_replay =
+        (after.restore_pages - before.restore_pages) as f64 / restores as f64;
+    let pages_cow_per_replay = (after.pages_cow - before.pages_cow) as f64 / restores as f64;
+
+    Workload {
+        name: "checkpoint",
+        metrics: vec![
+            ("capture_iters", iters as f64),
+            ("touched_pages_base", base_pages as f64),
+            ("checkpoint_capture_per_sec", rate_base),
+            ("capture_per_sec_8x", rate_8x),
+            ("capture_flatness_8x", rate_8x / rate_base.max(1e-9)),
+            ("restore_pages_per_replay", restore_pages_per_replay),
+            ("pages_cow_per_replay", pages_cow_per_replay),
+        ],
+    }
+}
+
 /// Serializes the run to the `microscope-bench-replay-v1` schema.
 fn render(mode: &str, workloads: &[Workload]) -> String {
     let mut out = String::new();
@@ -280,6 +380,8 @@ fn validate_emit(path: &str) -> Result<String, String> {
         "workloads.fig10.warm_sim_cycles_per_sec",
         "workloads.table1.points_per_sec",
         "workloads.sec8.plans_per_sec",
+        "workloads.checkpoint.checkpoint_capture_per_sec",
+        "workloads.checkpoint.restore_pages_per_replay",
     ] {
         let v = doc
             .path(key)

@@ -136,13 +136,16 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingValue { flag } => {
-                write!(f, "{flag} requires a value (none followed it)")
+                write!(f, "parsing {flag} failed: a value must follow it")
             }
             ArgError::InvalidValue {
                 flag,
                 value,
                 expected,
-            } => write!(f, "{flag} got {value:?}, expected {expected}"),
+            } => write!(
+                f,
+                "parsing {flag} failed: got {value:?}, expected {expected}"
+            ),
         }
     }
 }
@@ -160,7 +163,12 @@ pub struct ExportError {
 
 impl std::fmt::Display for ExportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+        write!(
+            f,
+            "export to {} failed: {}",
+            self.path.display(),
+            self.source
+        )
     }
 }
 

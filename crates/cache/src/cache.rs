@@ -2,6 +2,7 @@
 
 use crate::addr::LineAddr;
 use crate::config::CacheConfig;
+use std::sync::Arc;
 
 /// The line displaced by an insertion, if any.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +23,11 @@ struct Way {
 /// simulated physical memory and caches affect *timing* only, exactly the
 /// abstraction level the attack operates at.
 ///
+/// The tag array is [`Arc`]-shared: cloning a `Cache` (checkpoint capture)
+/// is a reference bump, and the first mutation after a clone lazily copies
+/// the array back out ([`Arc::make_mut`]). Restores swap the `Arc` instead
+/// of copying sets.
+///
 /// ```
 /// use microscope_cache::{Cache, CacheConfig, LineAddr};
 /// let mut c = Cache::new(CacheConfig::new(2, 2, 1));
@@ -32,7 +38,7 @@ struct Way {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    sets: Arc<Vec<Vec<Way>>>,
     tick: u64,
 }
 
@@ -40,7 +46,7 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         Cache {
-            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            sets: Arc::new(vec![Vec::with_capacity(cfg.ways); cfg.sets]),
             cfg,
             tick: 0,
         }
@@ -61,7 +67,10 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.set_index(line);
-        match self.sets[idx].iter_mut().find(|w| w.line == line) {
+        match Arc::make_mut(&mut self.sets)[idx]
+            .iter_mut()
+            .find(|w| w.line == line)
+        {
             Some(w) => {
                 w.last_used = tick;
                 true
@@ -84,7 +93,7 @@ impl Cache {
         let tick = self.tick;
         let ways = self.cfg.ways;
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = &mut Arc::make_mut(&mut self.sets)[idx];
         if let Some(w) = set.iter_mut().find(|w| w.line == line) {
             w.last_used = tick;
             return None;
@@ -114,7 +123,7 @@ impl Cache {
     /// whether the line was present.
     pub fn flush_line(&mut self, line: LineAddr) -> bool {
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = &mut Arc::make_mut(&mut self.sets)[idx];
         match set.iter().position(|w| w.line == line) {
             Some(pos) => {
                 set.swap_remove(pos);
@@ -126,7 +135,7 @@ impl Cache {
 
     /// Empties the whole cache (a `wbinvd`-style flush).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
+        for set in Arc::make_mut(&mut self.sets) {
             set.clear();
         }
     }

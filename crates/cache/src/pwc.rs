@@ -15,6 +15,7 @@
 //! address-based primitive, exactly as the kernel module does.
 
 use crate::addr::PAddr;
+use std::sync::Arc;
 
 /// Configuration of the page-walk cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +50,9 @@ impl Default for PwcConfig {
 #[derive(Clone, Debug)]
 pub struct PageWalkCache {
     cfg: PwcConfig,
-    entries: Vec<(PAddr, u64)>,
+    // Arc-shared so checkpoint capture is a reference bump; the first
+    // mutation after a clone copies the (small) array back out.
+    entries: Arc<Vec<(PAddr, u64)>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -59,7 +62,7 @@ impl PageWalkCache {
     /// Creates an empty PWC.
     pub fn new(cfg: PwcConfig) -> Self {
         PageWalkCache {
-            entries: Vec::with_capacity(cfg.entries),
+            entries: Arc::new(Vec::with_capacity(cfg.entries)),
             cfg,
             tick: 0,
             hits: 0,
@@ -77,7 +80,10 @@ impl PageWalkCache {
     pub fn lookup(&mut self, entry_paddr: PAddr) -> bool {
         self.tick += 1;
         let tick = self.tick;
-        match self.entries.iter_mut().find(|(p, _)| *p == entry_paddr) {
+        match Arc::make_mut(&mut self.entries)
+            .iter_mut()
+            .find(|(p, _)| *p == entry_paddr)
+        {
             Some((_, used)) => {
                 *used = tick;
                 self.hits += 1;
@@ -94,29 +100,30 @@ impl PageWalkCache {
     pub fn insert(&mut self, entry_paddr: PAddr) {
         self.tick += 1;
         let tick = self.tick;
-        if let Some((_, used)) = self.entries.iter_mut().find(|(p, _)| *p == entry_paddr) {
+        let max = self.cfg.entries;
+        let entries = Arc::make_mut(&mut self.entries);
+        if let Some((_, used)) = entries.iter_mut().find(|(p, _)| *p == entry_paddr) {
             *used = tick;
             return;
         }
-        if self.entries.len() < self.cfg.entries {
-            self.entries.push((entry_paddr, tick));
+        if entries.len() < max {
+            entries.push((entry_paddr, tick));
             return;
         }
-        let lru = self
-            .entries
+        let lru = entries
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, used))| *used)
             .map(|(i, _)| i)
             .expect("PWC non-empty");
-        self.entries[lru] = (entry_paddr, tick);
+        entries[lru] = (entry_paddr, tick);
     }
 
     /// Removes one entry if present.
     pub fn flush_entry(&mut self, entry_paddr: PAddr) -> bool {
         match self.entries.iter().position(|(p, _)| *p == entry_paddr) {
             Some(i) => {
-                self.entries.swap_remove(i);
+                Arc::make_mut(&mut self.entries).swap_remove(i);
                 true
             }
             None => false,
@@ -125,7 +132,7 @@ impl PageWalkCache {
 
     /// Empties the PWC.
     pub fn flush_all(&mut self) {
-        self.entries.clear();
+        Arc::make_mut(&mut self.entries).clear();
     }
 
     /// (hits, misses) observed so far.

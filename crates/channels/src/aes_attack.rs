@@ -7,7 +7,7 @@
 //! pivot walks the attack through the decryption quarter-round by
 //! quarter-round — single-stepping one logical AES run.
 
-use microscope_core::{denoise, AttackReport, SessionBuilder, SimConfig};
+use microscope_core::{denoise, AttackReport, RunRequest, SessionBuilder, SimConfig};
 use microscope_cpu::ContextId;
 use microscope_mem::VAddr;
 use microscope_os::{Observation, WalkTuning};
@@ -162,7 +162,9 @@ pub fn run(cfg: &AesAttackConfig) -> AesAttackOutcome {
         b.defer_arm(retires);
     }
     let mut session = b.build().expect("aes session has a victim installed");
-    let report = session.run(cfg.max_cycles);
+    let report = session
+        .execute(RunRequest::cold(cfg.max_cycles))
+        .expect("a cold run cannot fail");
     let out = aes::read_output(&session.machine().hw().phys, aspace, &layout);
     AesAttackOutcome {
         report,

@@ -7,7 +7,7 @@
 //! per-replay Replayer probes — and majority-votes each bit's marker lines
 //! across all observations.
 
-use microscope_core::{AttackReport, SessionBuilder};
+use microscope_core::{AttackReport, RunRequest, SessionBuilder};
 use microscope_cpu::ContextId;
 use microscope_mem::VAddr;
 use microscope_os::WalkTuning;
@@ -104,7 +104,9 @@ pub fn run(cfg: &ModExpAttackConfig) -> ModExpAttackOutcome {
         recipe.prime_between_replays = true;
     }
     let mut session = b.build().expect("modexp session has a victim");
-    let report = session.run(cfg.max_cycles);
+    let report = session
+        .execute(RunRequest::cold(cfg.max_cycles))
+        .expect("a cold run cannot fail");
     let result = session.machine().read_virt(ContextId(0), layout.result, 8);
     let expected = modexp::modexp_reference(cfg.base, cfg.exponent, cfg.modulus, cfg.bits);
 

@@ -10,7 +10,7 @@
 //! divider occupancy (a physically plausible proxy — dividers are hot),
 //! plus seeded measurement noise.
 
-use microscope_core::SessionBuilder;
+use microscope_core::{RunRequest, SessionBuilder};
 use microscope_cpu::ContextId;
 use microscope_mem::VAddr;
 use microscope_victims::control_flow;
@@ -45,7 +45,9 @@ fn per_replay_div_occupancy(secret: bool, replays: u64) -> f64 {
     b.module().recipe_mut(id).replays_per_step = replays;
     b.module().recipe_mut(id).handler_cycles = 300;
     let mut session = b.build().expect("power-channel session has a victim");
-    let report = session.run(30_000_000);
+    let report = session
+        .execute(RunRequest::cold(30_000_000))
+        .expect("a cold run cannot fail");
     assert_eq!(report.replays(), replays);
     // Divider issues × latency ≈ energy the divider consumed.
     let (div_issues, _) = report.div_stats;

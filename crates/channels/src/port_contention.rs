@@ -18,7 +18,9 @@
 //! replaying so that *one logical victim run* yields enough spikes to
 //! classify.
 
-use microscope_core::{denoise, AttackReport, AttackSession, MonitorBuffer, SessionBuilder};
+use microscope_core::{
+    denoise, AttackReport, AttackSession, MonitorBuffer, RunRequest, SessionBuilder,
+};
 use microscope_cpu::{Assembler, Cond, Program};
 use microscope_mem::{AddressSpace, PhysMem, VAddr};
 use microscope_os::WalkTuning;
@@ -165,7 +167,7 @@ pub fn build_session(secret: bool, cfg: &PortContentionConfig) -> AttackSession 
 /// included).
 pub fn run_attack(secret: bool, cfg: &PortContentionConfig) -> AttackReport {
     build_session(secret, cfg)
-        .run_until_monitor_done(cfg.max_cycles)
+        .execute(RunRequest::cold(cfg.max_cycles).until_monitor_done())
         .expect("port-contention session has a monitor")
 }
 

@@ -4,7 +4,7 @@
 
 use super::Measurement;
 use crate::port_contention::{self, PortContentionConfig};
-use microscope_core::{denoise, SessionBuilder};
+use microscope_core::{denoise, RunRequest, SessionBuilder};
 use microscope_mem::VAddr;
 use microscope_os::WalkTuning;
 use microscope_victims::control_flow;
@@ -74,7 +74,7 @@ fn one_shot_samples(secret: bool, jitter: u64) -> Vec<u64> {
         .machine_mut()
         .set_step_interrupt(microscope_cpu::ContextId(1), Some(2_000 + jitter % 400));
     let report = session
-        .run_until_monitor_done(20_000_000)
+        .execute(RunRequest::cold(20_000_000).until_monitor_done())
         .expect("one-shot session has a monitor");
     report.monitor_samples
 }

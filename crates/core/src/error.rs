@@ -3,6 +3,12 @@
 //! Library code never calls `panic!`/`expect` on caller mistakes: a
 //! missing victim or monitor is an ordinary [`Result`] the embedding
 //! binary (or sweep worker) decides how to surface.
+//!
+//! All error types in the workspace follow one shape: every variant
+//! carries the context needed to act on it, `Display` messages read
+//! "what failed: why", chains are exposed through
+//! [`std::error::Error::source`], and every type is `Send + Sync +
+//! 'static` (pinned by `tests/api_surface.rs`).
 
 use std::error::Error;
 use std::fmt;
@@ -10,6 +16,7 @@ use std::fmt;
 /// Why [`SessionBuilder::build`](crate::SessionBuilder::build) refused to
 /// assemble a session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BuildError {
     /// No victim program was installed
     /// ([`SessionBuilder::victim`](crate::SessionBuilder::victim) was
@@ -23,7 +30,8 @@ impl fmt::Display for BuildError {
             BuildError::NoVictim => {
                 write!(
                     f,
-                    "session has no victim (call SessionBuilder::victim first)"
+                    "session build failed: no victim installed \
+                     (call SessionBuilder::victim first)"
                 )
             }
         }
@@ -32,43 +40,56 @@ impl fmt::Display for BuildError {
 
 impl Error for BuildError {}
 
-/// Why a run method on [`AttackSession`](crate::AttackSession) could not
-/// proceed.
+/// Why [`AttackSession::execute`](crate::AttackSession::execute) could not
+/// carry out a [`RunRequest`](crate::RunRequest).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RunError {
-    /// `run_until_monitor_done` needs a monitor context, but none was
-    /// installed via
+    /// The request needs a monitor context, but none was installed via
     /// [`SessionBuilder::monitor`](crate::SessionBuilder::monitor).
-    NoMonitor,
-    /// A `rerun*` method was called before the armed-state checkpoint was
-    /// captured — run the session once first (for deferred arming the
-    /// snapshot is taken mid-run, at the arming interrupt).
-    NoCheckpoint,
+    NoMonitor {
+        /// The operation that required the monitor.
+        operation: &'static str,
+    },
+    /// A checkpointed request arrived before the armed-state snapshot was
+    /// captured — execute a cold request once first (for deferred arming
+    /// the snapshot is taken mid-run, at the arming interrupt).
+    NoCheckpoint {
+        /// The operation that needed the checkpoint.
+        operation: &'static str,
+    },
     /// The armed-state checkpoint carries supervisor state the currently
     /// installed supervisor does not recognize (it was swapped since the
     /// capture), so the rewind would silently lose kernel/module state.
-    CheckpointMismatch,
+    CheckpointMismatch {
+        /// Cycle at which the stale snapshot was captured.
+        capture_cycle: u64,
+    },
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::NoMonitor => {
+            RunError::NoMonitor { operation } => {
                 write!(
                     f,
-                    "no monitor installed (call SessionBuilder::monitor first)"
+                    "{operation} failed: no monitor context installed \
+                     (call SessionBuilder::monitor first)"
                 )
             }
-            RunError::NoCheckpoint => {
+            RunError::NoCheckpoint { operation } => {
                 write!(
                     f,
-                    "no armed checkpoint captured yet (run the session once before rerunning)"
+                    "{operation} failed: no armed checkpoint captured yet \
+                     (execute a cold RunRequest once first)"
                 )
             }
-            RunError::CheckpointMismatch => {
+            RunError::CheckpointMismatch { capture_cycle } => {
                 write!(
                     f,
-                    "checkpoint does not match the installed supervisor (swapped since capture)"
+                    "checkpoint restore failed: the snapshot from cycle \
+                     {capture_cycle} carries supervisor state the installed \
+                     supervisor does not recognize (swapped since capture)"
                 )
             }
         }
@@ -82,8 +103,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn errors_render_actionable_messages() {
-        assert!(BuildError::NoVictim.to_string().contains("victim"));
-        assert!(RunError::NoMonitor.to_string().contains("monitor"));
+    fn errors_render_what_failed_colon_why() {
+        let b = BuildError::NoVictim.to_string();
+        assert!(b.contains("failed:") && b.contains("victim"), "{b}");
+        let r = RunError::NoMonitor {
+            operation: "run until monitor done",
+        }
+        .to_string();
+        assert!(r.starts_with("run until monitor done failed:"), "{r}");
+        let c = RunError::CheckpointMismatch { capture_cycle: 42 }.to_string();
+        assert!(c.contains("cycle 42"), "{c}");
     }
 }

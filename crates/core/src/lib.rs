@@ -29,4 +29,4 @@ pub mod sweep;
 pub use config::SimConfig;
 pub use error::{BuildError, RunError};
 pub use report::{AttackReport, ReplayAnalytics, ReportSnapshot};
-pub use session::{AttackSession, MonitorBuffer, SessionBuilder};
+pub use session::{AttackSession, MonitorBuffer, RunRequest, SessionBuilder};

@@ -188,6 +188,92 @@ impl SessionBuilder {
     }
 }
 
+/// Declarative description of one session execution, consumed by
+/// [`AttackSession::execute`].
+///
+/// A request starts cold ([`RunRequest::cold`]) and is refined by chaining
+/// builder methods:
+///
+/// * [`RunRequest::from_checkpoint`] — rewind to the armed checkpoint and
+///   re-simulate only the post-arm window instead of running from reset;
+/// * [`RunRequest::until_monitor_done`] — stop when the monitor context
+///   halts (the victim may still be captive under replay);
+/// * [`RunRequest::cross_checked`] — execute the window twice, with and
+///   without idle-cycle fast-forward, and verify the reports agree.
+///
+/// ```
+/// use microscope_core::RunRequest;
+/// let req = RunRequest::cold(1_000_000).from_checkpoint().until_monitor_done();
+/// assert_eq!(req.max_cycles(), 1_000_000);
+/// assert!(req.is_from_checkpoint() && req.is_until_monitor_done());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "a RunRequest does nothing until passed to AttackSession::execute"]
+pub struct RunRequest {
+    max_cycles: u64,
+    from_checkpoint: bool,
+    until_monitor_done: bool,
+    cross_checked: bool,
+}
+
+impl RunRequest {
+    /// A cold run from the current machine state, for at most `max_cycles`
+    /// (counted from session start — a checkpointed replay therefore
+    /// observes the same budget as the cold run it reproduces).
+    pub fn cold(max_cycles: u64) -> Self {
+        RunRequest {
+            max_cycles,
+            from_checkpoint: false,
+            until_monitor_done: false,
+            cross_checked: false,
+        }
+    }
+
+    /// Rewinds to the armed checkpoint first; fails with
+    /// [`RunError::NoCheckpoint`] when nothing has been captured yet.
+    pub fn from_checkpoint(mut self) -> Self {
+        self.from_checkpoint = true;
+        self
+    }
+
+    /// Stops when the monitor halts instead of when every context halts;
+    /// fails with [`RunError::NoMonitor`] on a monitor-less session.
+    pub fn until_monitor_done(mut self) -> Self {
+        self.until_monitor_done = true;
+        self
+    }
+
+    /// Runs the post-arm window twice — cycle-by-cycle and fast-forwarded —
+    /// and panics on divergence (a simulator soundness bug, never a
+    /// workload property). Implies [`RunRequest::from_checkpoint`]; the
+    /// stop condition follows the session (monitor-done when a monitor is
+    /// installed, cycle budget otherwise).
+    pub fn cross_checked(mut self) -> Self {
+        self.cross_checked = true;
+        self
+    }
+
+    /// The cycle budget, counted from session start.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Whether this request rewinds to the armed checkpoint.
+    pub fn is_from_checkpoint(&self) -> bool {
+        self.from_checkpoint || self.cross_checked
+    }
+
+    /// Whether this request stops at monitor completion.
+    pub fn is_until_monitor_done(&self) -> bool {
+        self.until_monitor_done
+    }
+
+    /// Whether this request cross-checks fast-forward soundness.
+    pub fn is_cross_checked(&self) -> bool {
+        self.cross_checked
+    }
+}
+
 /// A ready-to-run attack: machine + installed kernel + observation handle.
 pub struct AttackSession {
     machine: Machine,
@@ -239,12 +325,89 @@ impl AttackSession {
         self.armed_checkpoint.as_ref()
     }
 
-    /// Runs for at most `max_cycles` and produces the report.
+    /// Executes one [`RunRequest`] and produces the report — the single
+    /// entry point subsuming the former `run` / `run_until_monitor_done` /
+    /// `rerun` / `rerun_until_monitor_done` / `run_cross_checked` family.
     ///
-    /// The first run captures the armed-state checkpoint — up front when
-    /// the module armed at build time, or mid-run at the arming interrupt
-    /// when arming was deferred — enabling [`AttackSession::rerun`].
+    /// A cold request's first execution captures the armed-state
+    /// checkpoint — up front when the module armed at build time, or
+    /// mid-run at the arming interrupt when arming was deferred — enabling
+    /// subsequent `.from_checkpoint()` requests, which rewind to it and
+    /// re-simulate only the post-arm window (what makes MicroScope-style
+    /// replay O(window) instead of O(program)).
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NoMonitor`] — `.until_monitor_done()` on a session
+    ///   without a monitor context;
+    /// * [`RunError::NoCheckpoint`] — `.from_checkpoint()` or
+    ///   `.cross_checked()` before any cold execution captured a snapshot;
+    /// * [`RunError::CheckpointMismatch`] — the supervisor was swapped
+    ///   since the capture.
+    ///
+    /// # Panics
+    ///
+    /// A `.cross_checked()` request panics when the cycle-by-cycle and
+    /// fast-forwarded executions diverge: that is a simulator soundness
+    /// bug, never a property of the workload.
+    pub fn execute(&mut self, req: RunRequest) -> Result<AttackReport, RunError> {
+        if req.is_cross_checked() {
+            return self.cross_checked_impl(req.max_cycles());
+        }
+        match (req.is_from_checkpoint(), req.is_until_monitor_done()) {
+            (false, false) => Ok(self.cold_run(req.max_cycles())),
+            (false, true) => self.cold_until_monitor(req.max_cycles()),
+            (true, false) => self.replay_run(req.max_cycles()),
+            (true, true) => self.replay_until_monitor(req.max_cycles()),
+        }
+    }
+
+    /// Runs for at most `max_cycles` and produces the report.
+    #[deprecated(since = "0.5.0", note = "use `execute(RunRequest::cold(max_cycles))`")]
     pub fn run(&mut self, max_cycles: u64) -> AttackReport {
+        self.cold_run(max_cycles)
+    }
+
+    /// Runs until the monitor halts, then reports.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `execute(RunRequest::cold(max_cycles).until_monitor_done())`"
+    )]
+    pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        self.cold_until_monitor(max_cycles)
+    }
+
+    /// Rewinds to the armed checkpoint and re-runs.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `execute(RunRequest::cold(max_cycles).from_checkpoint())`"
+    )]
+    pub fn rerun(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        self.replay_run(max_cycles)
+    }
+
+    /// Rewinds to the armed checkpoint and re-runs until the monitor halts.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `execute(RunRequest::cold(max_cycles).from_checkpoint().until_monitor_done())`"
+    )]
+    pub fn rerun_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        self.replay_until_monitor(max_cycles)
+    }
+
+    /// Re-executes the post-arm window with and without fast-forward and
+    /// verifies the reports agree.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `execute(RunRequest::cold(max_cycles).cross_checked())`"
+    )]
+    pub fn run_cross_checked(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        self.cross_checked_impl(max_cycles)
+    }
+
+    /// Cold execution from the current machine state; captures the armed
+    /// checkpoint (up front or mid-run at the arming interrupt).
+    fn cold_run(&mut self, max_cycles: u64) -> AttackReport {
         self.capture_if_armed();
         self.emit_session_start();
         let exit = self.run_capturing(max_cycles);
@@ -252,19 +415,16 @@ impl AttackSession {
         self.report(exit)
     }
 
-    /// Runs until the monitor halts (useful when the victim spins forever
-    /// under replay), then reports. Fails with [`RunError::NoMonitor`]
-    /// when the session has no monitor context.
-    ///
-    /// Captures the armed-state checkpoint exactly like
-    /// [`AttackSession::run`].
-    pub fn run_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
-        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor)?;
+    /// Cold execution that stops when the monitor halts (useful when the
+    /// victim spins forever under replay). The monitor finishing counts as
+    /// completion even when the victim is still captive.
+    fn cold_until_monitor(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor {
+            operation: "run until monitor done",
+        })?;
         self.capture_if_armed();
         self.emit_session_start();
         let done = self.run_until_capturing(max_cycles, ctx);
-        // The monitor finishing counts as completion even when the victim
-        // is still captive under replay.
         let exit = if done {
             RunExit::AllHalted
         } else {
@@ -275,16 +435,9 @@ impl AttackSession {
     }
 
     /// Rewinds to the armed checkpoint and re-runs. `max_cycles` counts
-    /// from session start exactly as in [`AttackSession::run`], so a rerun
-    /// observes the same cycle budget as a cold run but re-simulates only
-    /// the post-arm window — this is what makes MicroScope-style replay
-    /// O(window) instead of O(program).
-    ///
-    /// Fails with [`RunError::NoCheckpoint`] before the first `run*` call
-    /// (nothing has been captured yet) and with
-    /// [`RunError::CheckpointMismatch`] when the supervisor was swapped
-    /// since the capture.
-    pub fn rerun(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+    /// from session start exactly as in a cold run, so a replay observes
+    /// the same cycle budget but re-simulates only the post-arm window.
+    fn replay_run(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
         let budget = self.rewind(max_cycles)?;
         if !self.checkpoint_mid_run {
             self.emit_session_start();
@@ -294,11 +447,11 @@ impl AttackSession {
         Ok(self.report(exit))
     }
 
-    /// Rewinds to the armed checkpoint and re-runs until the monitor
-    /// halts; the rerun analogue of
-    /// [`AttackSession::run_until_monitor_done`].
-    pub fn rerun_until_monitor_done(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
-        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor)?;
+    /// The replay analogue of [`AttackSession::cold_until_monitor`].
+    fn replay_until_monitor(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+        let ctx = self.monitor_ctx.ok_or(RunError::NoMonitor {
+            operation: "replay until monitor done",
+        })?;
         let budget = self.rewind(max_cycles)?;
         if !self.checkpoint_mid_run {
             self.emit_session_start();
@@ -319,17 +472,12 @@ impl AttackSession {
     /// byte-identical (their full `Debug` serialization compares equal).
     /// Stops at monitor completion when the session has a monitor, at the
     /// cycle budget otherwise. Returns the verified report.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the two executions diverge: that is a fast-forward
-    /// soundness bug in the simulator, never a property of the workload.
-    pub fn run_cross_checked(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+    fn cross_checked_impl(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
         let orig_ff = self.machine.config().fast_forward;
         self.machine.set_fast_forward(false);
-        let reference = self.rerun_auto(max_cycles);
+        let reference = self.replay_auto(max_cycles);
         self.machine.set_fast_forward(true);
-        let fast = self.rerun_auto(max_cycles);
+        let fast = self.replay_auto(max_cycles);
         self.machine.set_fast_forward(orig_ff);
         let (reference, fast) = (reference?, fast?);
         let (a, b) = (format!("{reference:?}"), format!("{fast:?}"));
@@ -350,11 +498,11 @@ impl AttackSession {
         Ok(fast)
     }
 
-    fn rerun_auto(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
+    fn replay_auto(&mut self, max_cycles: u64) -> Result<AttackReport, RunError> {
         if self.monitor_ctx.is_some() {
-            self.rerun_until_monitor_done(max_cycles)
+            self.replay_until_monitor(max_cycles)
         } else {
-            self.rerun(max_cycles)
+            self.replay_run(max_cycles)
         }
     }
 
@@ -374,9 +522,13 @@ impl AttackSession {
         let cp = self
             .armed_checkpoint
             .as_ref()
-            .ok_or(RunError::NoCheckpoint)?;
+            .ok_or(RunError::NoCheckpoint {
+                operation: "replay from checkpoint",
+            })?;
         if !self.machine.restore(cp) {
-            return Err(RunError::CheckpointMismatch);
+            return Err(RunError::CheckpointMismatch {
+                capture_cycle: cp.cycle(),
+            });
         }
         Ok(max_cycles.saturating_sub(cp.cycle()))
     }
@@ -482,6 +634,24 @@ impl AttackSession {
             dropped_events: self.probe.dropped(),
             metrics: self.collect_metrics(),
         }
+    }
+
+    /// Checkpoint-engine cost counters as a metric registry:
+    /// `checkpoint.captures`, `checkpoint.restores`, `checkpoint.pages_cow`
+    /// and `checkpoint.restore_pages`.
+    ///
+    /// Deliberately *not* folded into [`AttackReport`] metrics: reports are
+    /// pinned byte-identical between cold execution and checkpointed
+    /// replay, and these counters measure the engine (which differs between
+    /// those paths), not the workload.
+    pub fn checkpoint_metrics(&self) -> MetricSet {
+        let s = self.machine.checkpoint_stats();
+        let mut m = MetricSet::new();
+        m.set_count("checkpoint.captures", s.captures);
+        m.set_count("checkpoint.restores", s.restores);
+        m.set_count("checkpoint.pages_cow", s.pages_cow);
+        m.set_count("checkpoint.restore_pages", s.restore_pages);
+        m
     }
 
     /// Collects the uniform metric registry from every layer.

@@ -2,7 +2,7 @@
 
 use crate::isa::Reg;
 use crate::program::Program;
-use crate::rob::RobEntry;
+use crate::rob::{RobEntry, RobState};
 use crate::stats::ContextStats;
 use microscope_cache::{LineAddr, PAddr};
 use microscope_mem::AddressSpace;
@@ -97,6 +97,23 @@ pub struct Context {
     pub(crate) step_every: Option<u64>,
     /// Retired instructions since the last stepping interrupt.
     pub(crate) retires_since_step: u64,
+    /// Number of *issuable* ROB entries: in [`RobState::Waiting`] with
+    /// every operand ready. Operands move `Pending` → `Ready` only at
+    /// value delivery, so this count is maintained exactly at the few
+    /// transition points (dispatch, delivery, issue, squash) and lets the
+    /// issue stage skip its O(ROB) scan for a context with nothing to
+    /// arbitrate — the steady state of a captive victim whose window
+    /// stalled behind the replayed faulting load.
+    ///
+    /// [`RobState::Waiting`]: crate::rob::RobState::Waiting
+    pub(crate) issuable: usize,
+    /// Number of ROB entries in flight on an execution unit
+    /// ([`RobState::Executing`]). Lets the complete stage stop scanning
+    /// once every in-flight entry has been seen — for a captive victim
+    /// that is one entry (the replayed faulting load), at the head.
+    ///
+    /// [`RobState::Executing`]: crate::rob::RobState::Executing
+    pub(crate) executing: usize,
     /// Statistics.
     pub(crate) stats: ContextStats,
 }
@@ -119,6 +136,8 @@ impl Context {
             post_flush_fence: false,
             step_every: None,
             retires_since_step: 0,
+            issuable: 0,
+            executing: 0,
             stats: ContextStats::default(),
         }
     }
@@ -194,6 +213,8 @@ impl Context {
         let n = self.rob.len();
         self.rob.clear();
         self.rat = [None; Reg::COUNT];
+        self.issuable = 0;
+        self.executing = 0;
         n
     }
 
@@ -201,6 +222,13 @@ impl Context {
     pub(crate) fn squash_younger_than(&mut self, seq: u64) -> usize {
         let keep = self.rob.iter().take_while(|e| e.seq <= seq).count();
         let n = self.rob.len() - keep;
+        for e in self.rob.iter().skip(keep) {
+            match e.state {
+                RobState::Waiting => self.issuable -= usize::from(e.srcs_ready()),
+                RobState::Executing { .. } => self.executing -= 1,
+                _ => {}
+            }
+        }
         self.rob.truncate(keep);
         self.rebuild_rat();
         n
@@ -211,7 +239,7 @@ impl Context {
 mod tests {
     use super::*;
     use crate::isa::{AluOp, Inst};
-    use crate::rob::{RobState, Src};
+    use crate::rob::Src;
     use microscope_mem::PhysMem;
 
     fn dummy_entry(seq: u64, dst: Reg) -> RobEntry {
@@ -226,7 +254,7 @@ mod tests {
             },
             state: RobState::Waiting,
             value: 0,
-            srcs: vec![Src::Ready(0)],
+            srcs: [Src::Ready(0)].into_iter().collect(),
             fault: None,
             predicted_taken: false,
             mem_addr: None,
@@ -244,17 +272,24 @@ mod tests {
         Context::new(ContextId(0), Program::new(vec![Inst::Halt]), asp, 1)
     }
 
+    /// Pushes `e` the way dispatch does: ROB plus the issuable count.
+    fn push(c: &mut Context, e: RobEntry) {
+        c.issuable += usize::from(e.state == RobState::Waiting && e.srcs_ready());
+        c.rob.push_back(e);
+    }
+
     #[test]
     fn squash_younger_keeps_prefix_and_rebuilds_rat() {
         let mut c = ctx();
-        c.rob.push_back(dummy_entry(1, Reg(1)));
-        c.rob.push_back(dummy_entry(2, Reg(2)));
-        c.rob.push_back(dummy_entry(3, Reg(1)));
+        push(&mut c, dummy_entry(1, Reg(1)));
+        push(&mut c, dummy_entry(2, Reg(2)));
+        push(&mut c, dummy_entry(3, Reg(1)));
         c.rebuild_rat();
         assert_eq!(c.rat[1], Some(3));
         let dropped = c.squash_younger_than(2);
         assert_eq!(dropped, 1);
         assert_eq!(c.rob.len(), 2);
+        assert_eq!(c.issuable, 2, "the dropped waiting entry left the count");
         assert_eq!(c.rat[1], Some(1), "RAT points at surviving producer");
         assert_eq!(c.rat[2], Some(2));
     }

@@ -264,6 +264,61 @@ pub enum Inst {
     Halt,
 }
 
+/// An inline register list: [`Inst::sources`] returns at most two
+/// registers, held by value so the per-fetch operand walk never
+/// heap-allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegList {
+    items: [Reg; 2],
+    len: u8,
+}
+
+impl RegList {
+    /// No source registers.
+    pub const fn none() -> Self {
+        RegList {
+            items: [Reg(0), Reg(0)],
+            len: 0,
+        }
+    }
+
+    /// One source register.
+    pub const fn one(r: Reg) -> Self {
+        RegList {
+            items: [r, Reg(0)],
+            len: 1,
+        }
+    }
+
+    /// Two source registers.
+    pub const fn two(a: Reg, b: Reg) -> Self {
+        RegList {
+            items: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the registers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Reg> {
+        self.as_slice().iter()
+    }
+
+    /// Number of source registers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether there are no source registers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl Inst {
     /// The destination register this instruction writes, if any.
     pub fn dst(&self) -> Option<Reg> {
@@ -283,18 +338,18 @@ impl Inst {
     }
 
     /// The source registers this instruction reads.
-    pub fn sources(&self) -> Vec<Reg> {
+    pub fn sources(&self) -> RegList {
         match *self {
-            Inst::Mov { src, .. } => vec![src],
+            Inst::Mov { src, .. } => RegList::one(src),
             Inst::Alu { a, b, .. } | Inst::Mul { a, b, .. } | Inst::FOp { a, b, .. } => {
-                vec![a, b]
+                RegList::two(a, b)
             }
-            Inst::AluImm { a, .. } => vec![a],
-            Inst::Load { base, .. } => vec![base],
-            Inst::Store { src, base, .. } => vec![src, base],
-            Inst::Branch { a, b, .. } => vec![a, b],
-            Inst::ReadTimer { after, .. } => after.into_iter().collect(),
-            _ => Vec::new(),
+            Inst::AluImm { a, .. } => RegList::one(a),
+            Inst::Load { base, .. } => RegList::one(base),
+            Inst::Store { src, base, .. } => RegList::two(src, base),
+            Inst::Branch { a, b, .. } => RegList::two(a, b),
+            Inst::ReadTimer { after: Some(r), .. } => RegList::one(r),
+            _ => RegList::none(),
         }
     }
 
@@ -428,7 +483,7 @@ mod tests {
             size: 8,
         };
         assert_eq!(ld.dst(), Some(Reg(1)));
-        assert_eq!(ld.sources(), vec![Reg(2)]);
+        assert_eq!(ld.sources().as_slice(), &[Reg(2)]);
         assert!(ld.is_memory());
         let st = Inst::Store {
             src: Reg(3),
@@ -437,7 +492,7 @@ mod tests {
             size: 4,
         };
         assert_eq!(st.dst(), None);
-        assert_eq!(st.sources(), vec![Reg(3), Reg(4)]);
+        assert_eq!(st.sources().as_slice(), &[Reg(3), Reg(4)]);
     }
 
     #[test]
@@ -446,7 +501,7 @@ mod tests {
             dst: Reg(1),
             after: Some(Reg(9)),
         };
-        assert_eq!(t.sources(), vec![Reg(9)]);
+        assert_eq!(t.sources().as_slice(), &[Reg(9)]);
     }
 
     #[test]

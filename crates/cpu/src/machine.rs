@@ -6,7 +6,7 @@ use crate::isa::{FpOp, Inst, Reg};
 use crate::ports::{PortKind, Ports};
 use crate::predictor::BranchPredictor;
 use crate::program::Program;
-use crate::rob::{RobEntry, RobState, SquashCause, Src};
+use crate::rob::{RobEntry, RobState, SquashCause, Src, SrcList};
 use crate::stats::MachineStats;
 use crate::supervisor::{
     FaultEvent, HwParts, InterruptEvent, NullSupervisor, Supervisor, SupervisorAction,
@@ -80,6 +80,27 @@ impl MachineCheckpoint {
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
+}
+
+/// Cumulative cost counters for the checkpoint engine.
+///
+/// Every field is monotone over the machine's lifetime — deliberately *not*
+/// part of a [`MachineCheckpoint`], so a restore never rewinds the
+/// bookkeeping about restores. This is what lets a perf harness ask "how
+/// many pages did N replays actually touch" after the fact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots taken ([`Machine::checkpoint`] calls).
+    pub captures: u64,
+    /// Rewinds performed ([`Machine::restore`] calls).
+    pub restores: u64,
+    /// Physical pages copied by the CoW layer across all capture/restore
+    /// epochs (a page dirtied while shared with a live snapshot).
+    pub pages_cow: u64,
+    /// Pages discarded by restores — the sum over all rewinds of the pages
+    /// dirtied between the epoch boundary and the rewind. Divided by
+    /// `restores`, this is the per-replay delta the O(dirty) claim is about.
+    pub restore_pages: u64,
 }
 
 /// Builder for [`Machine`].
@@ -232,6 +253,8 @@ impl MachineBuilder {
             supervisor: self.supervisor.unwrap_or_else(|| Box::new(NullSupervisor)),
             tracer,
             next_seq: 1,
+            ckpt_stats: std::cell::Cell::new(CheckpointStats::default()),
+            issue_scratch: IssueScratch::default(),
         }
     }
 }
@@ -256,6 +279,28 @@ pub struct Machine {
     supervisor: Box<dyn Supervisor>,
     tracer: Tracer,
     next_seq: u64,
+    /// Lifetime checkpoint-engine counters; never restored by
+    /// [`Machine::restore`]. A `Cell` so [`Machine::checkpoint`] can count
+    /// captures through its `&self` receiver.
+    ckpt_stats: std::cell::Cell<CheckpointStats>,
+    /// Reusable issue-stage work buffers (cleared every cycle, carried
+    /// here only so the hottest loop never heap-allocates; deliberately
+    /// absent from checkpoints — they hold no architectural state).
+    issue_scratch: IssueScratch,
+}
+
+/// Per-cycle scratch for [`Machine::issue_stage`], reused across cycles.
+#[derive(Debug, Default)]
+struct IssueScratch {
+    first_not_done: Vec<usize>,
+    first_blocker: Vec<usize>,
+    pending_stores: Vec<Vec<PendingStore>>,
+    /// Per-context issue candidates: indices of entries that are `Waiting`
+    /// with every operand ready. Nothing issued this cycle can add to the
+    /// set (values deliver at complete, not issue), so the gating scan can
+    /// collect it up front and arbitration touches only these.
+    candidates: Vec<Vec<usize>>,
+    cursor: Vec<usize>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -380,7 +425,18 @@ impl Machine {
 
     /// Captures a complete, restorable snapshot of the machine. See
     /// [`MachineCheckpoint`] for what is included.
+    ///
+    /// Since the CoW rework this is O(pages touched since the last epoch),
+    /// not O(memory size): the physical pages, cache/TLB/PWC arrays,
+    /// predictor table and probe ring are all reference-bumped, and actual
+    /// copies happen lazily on the first post-capture write to each piece.
     pub fn checkpoint(&self) -> MachineCheckpoint {
+        // The capture is an epoch boundary: pages dirtied from here on are
+        // exactly what a later restore to this snapshot discards.
+        self.hw.phys.begin_epoch();
+        let mut s = self.ckpt_stats.get();
+        s.captures += 1;
+        self.ckpt_stats.set(s);
         MachineCheckpoint {
             cycle: self.cycle,
             next_seq: self.next_seq,
@@ -390,6 +446,13 @@ impl Machine {
             supervisor: self.supervisor.checkpoint(),
             recorder: self.tracer.probe().snapshot(),
         }
+    }
+
+    /// Lifetime checkpoint-engine cost counters (see [`CheckpointStats`]).
+    /// Unlike every other counter on the machine, these survive
+    /// [`Machine::restore`] — they measure the engine, not the workload.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt_stats.get()
     }
 
     /// Rewinds the machine to a [`MachineCheckpoint`]. The checkpoint is
@@ -402,9 +465,22 @@ impl Machine {
     /// state are restored regardless. A snapshot with no supervisor state
     /// (a stateless supervisor at capture time) restores trivially.
     pub fn restore(&mut self, cp: &MachineCheckpoint) -> bool {
+        // Account the rewind before swapping: the pages dirtied this epoch
+        // are what the restore discards, and the live store's CoW counter
+        // minus the snapshot's is the copies this epoch caused.
+        let mut s = self.ckpt_stats.get();
+        s.restores += 1;
+        s.restore_pages += self.hw.phys.epoch_dirty_pages();
+        s.pages_cow += self
+            .hw
+            .phys
+            .cow_copied_pages()
+            .saturating_sub(cp.hw.phys.cow_copied_pages());
+        self.ckpt_stats.set(s);
         self.cycle = cp.cycle;
         self.next_seq = cp.next_seq;
         self.hw = cp.hw.clone();
+        self.hw.phys.begin_epoch();
         self.ports = cp.ports.clone();
         self.contexts = cp.contexts.clone();
         self.tracer.probe().restore(&cp.recorder);
@@ -711,6 +787,8 @@ impl Machine {
                 let ctx = &mut self.contexts[ci];
                 ctx.rob.clear();
                 ctx.rat = [None; Reg::COUNT];
+                ctx.issuable = 0;
+                ctx.executing = 0;
                 ctx.halted = true;
                 return false;
             }
@@ -849,12 +927,20 @@ impl Machine {
 
     fn complete_stage(&mut self, now: u64) {
         for ci in 0..self.contexts.len() {
+            // Only `Executing` entries can complete, and the context counts
+            // them: stop scanning once every in-flight entry has been seen.
+            // A captive victim's window is Done/Waiting except the replayed
+            // faulting load at its head, so its scan is one entry long.
+            let mut remaining = self.contexts[ci].executing;
             let mut idx = 0;
-            'entries: while idx < self.contexts[ci].rob.len() {
+            'entries: while remaining > 0 && idx < self.contexts[ci].rob.len() {
                 let (done, seq) = {
                     let e = &self.contexts[ci].rob[idx];
                     match e.state {
-                        RobState::Executing { done_at } if done_at <= now => (true, e.seq),
+                        RobState::Executing { done_at } => {
+                            remaining -= 1;
+                            (done_at <= now, e.seq)
+                        }
                         _ => (false, e.seq),
                     }
                 };
@@ -862,6 +948,7 @@ impl Machine {
                     idx += 1;
                     continue;
                 }
+                self.contexts[ci].executing -= 1;
                 let has_fault = self.contexts[ci].rob[idx].fault.is_some();
                 if has_fault {
                     self.contexts[ci].rob[idx].state = RobState::Faulted;
@@ -874,9 +961,14 @@ impl Machine {
                 self.tracer
                     .record(now, ContextId(ci), TraceKind::Complete { seq });
                 let len = self.contexts[ci].rob.len();
+                let mut woken = 0usize;
                 for j in idx + 1..len {
-                    self.contexts[ci].rob[j].deliver(seq, value);
+                    let e = &mut self.contexts[ci].rob[j];
+                    if e.deliver(seq, value) && e.state == RobState::Waiting && e.srcs_ready() {
+                        woken += 1;
+                    }
                 }
+                self.contexts[ci].issuable += woken;
                 // Branch resolution.
                 let (is_branch, taken, predicted, target, pc) = {
                     let e = &self.contexts[ci].rob[idx];
@@ -932,54 +1024,94 @@ impl Machine {
         //    resolve independently of store data (the STA/STD split), so
         //    a younger load only waits on a pending store whose address
         //    is unknown or may overlap its own.
-        let mut first_not_done = vec![usize::MAX; n];
-        let mut first_blocker = vec![usize::MAX; n];
-        let mut pending_stores: Vec<Vec<PendingStore>> = vec![Vec::new(); n];
+        // The buffers live on the machine and are recycled every cycle.
+        let mut scratch = std::mem::take(&mut self.issue_scratch);
+        scratch.first_not_done.clear();
+        scratch.first_not_done.resize(n, usize::MAX);
+        scratch.first_blocker.clear();
+        scratch.first_blocker.resize(n, usize::MAX);
+        scratch.pending_stores.resize_with(n, Vec::new);
+        scratch.candidates.resize_with(n, Vec::new);
+        scratch.cursor.clear();
+        scratch.cursor.resize(n, 0);
+        let mut any_candidate = false;
         for ci in 0..n {
+            scratch.pending_stores[ci].clear();
+            scratch.candidates[ci].clear();
+            // With nothing issuable there is nothing to arbitrate, and the
+            // gating state (first-not-done, blockers, pending stores) is
+            // only ever consulted for this context's own candidates — skip
+            // the O(ROB) scan outright. This is the steady state of a
+            // captive victim: its window is stalled on the replayed
+            // faulting load, every entry either complete or waiting on an
+            // operand that only a future delivery can make ready.
+            if self.contexts[ci].issuable == 0 {
+                debug_assert!(!self.contexts[ci]
+                    .rob
+                    .iter()
+                    .any(|e| e.state == RobState::Waiting && e.srcs_ready()));
+                continue;
+            }
+            let issuable = self.contexts[ci].issuable;
             for (idx, e) in self.contexts[ci].rob.iter().enumerate() {
-                if first_not_done[ci] == usize::MAX && e.state != RobState::Done {
-                    first_not_done[ci] = idx;
+                if scratch.first_not_done[ci] == usize::MAX && e.state != RobState::Done {
+                    scratch.first_not_done[ci] = idx;
                 }
-                if first_blocker[ci] == usize::MAX && e.blocks_younger && e.state != RobState::Done
+                if scratch.first_blocker[ci] == usize::MAX
+                    && e.blocks_younger
+                    && e.state != RobState::Done
                 {
-                    first_blocker[ci] = idx;
+                    scratch.first_blocker[ci] = idx;
+                }
+                if e.state == RobState::Waiting && e.srcs_ready() {
+                    scratch.candidates[ci].push(idx);
+                    any_candidate = true;
+                    // Entries past the youngest candidate cannot gate it
+                    // (disambiguation and blockers only look *older*), so
+                    // once every issuable entry is in hand stop scanning.
+                    if scratch.candidates[ci].len() == issuable {
+                        break;
+                    }
                 }
                 if matches!(e.inst, Inst::Store { .. })
                     && e.mem_addr.is_none()
                     && e.fault.is_none()
                     && !e.is_complete()
                 {
-                    pending_stores[ci].push((idx, e.resolved_vaddr_range()));
+                    scratch.pending_stores[ci].push((idx, e.resolved_vaddr_range()));
                 }
             }
         }
         // Issue oldest-first ACROSS contexts (merge by sequence number).
         // Age-ordered arbitration is what keeps one SMT context from
-        // starving the other on a contended unit like the divider.
-        let mut cursor = vec![0usize; n];
-        while budget > 0 {
+        // starving the other on a contended unit like the divider. Each
+        // candidate is visited at most once: one that loses port
+        // arbitration (or a disambiguation check) waits for the next cycle.
+        while budget > 0 && any_candidate {
             let mut best: Option<(u64, usize)> = None;
-            for (ci, cur) in cursor.iter().enumerate() {
-                if let Some(e) = self.contexts[ci].rob.get(*cur) {
-                    if best.map(|(seq, _)| e.seq < seq).unwrap_or(true) {
-                        best = Some((e.seq, ci));
+            for (ci, cur) in scratch.cursor.iter().enumerate() {
+                if let Some(&idx) = scratch.candidates[ci].get(*cur) {
+                    let seq = self.contexts[ci].rob[idx].seq;
+                    if best.map(|(s, _)| seq < s).unwrap_or(true) {
+                        best = Some((seq, ci));
                     }
                 }
             }
             let Some((_, ci)) = best else { break };
-            let idx = cursor[ci];
-            cursor[ci] += 1;
+            let idx = scratch.candidates[ci][scratch.cursor[ci]];
+            scratch.cursor[ci] += 1;
             if self.can_issue(
                 ci,
                 idx,
-                first_not_done[ci],
-                first_blocker[ci],
-                &pending_stores[ci],
+                scratch.first_not_done[ci],
+                scratch.first_blocker[ci],
+                &scratch.pending_stores[ci],
             ) && self.try_execute(ci, idx, now)
             {
                 budget -= 1;
             }
         }
+        self.issue_scratch = scratch;
     }
 
     fn can_issue(
@@ -1134,6 +1266,8 @@ impl Machine {
         e.state = RobState::Executing {
             done_at: now + latency.max(1),
         };
+        self.contexts[ci].issuable -= 1;
+        self.contexts[ci].executing += 1;
         true
     }
 
@@ -1281,7 +1415,7 @@ impl Machine {
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 // Operand capture through the RAT.
-                let srcs: Vec<Src> = inst
+                let srcs: SrcList = inst
                     .sources()
                     .iter()
                     .map(|r| {
@@ -1344,7 +1478,9 @@ impl Machine {
                 if let Some(dst) = entry.dst() {
                     self.contexts[ci].rat[dst.index()] = Some(seq);
                 }
+                let ready_at_dispatch = entry.srcs_ready();
                 self.contexts[ci].rob.push_back(entry);
+                self.contexts[ci].issuable += usize::from(ready_at_dispatch);
                 self.contexts[ci].stats.dispatched += 1;
                 self.tracer
                     .record(now, ContextId(ci), TraceKind::Fetch { seq, pc });

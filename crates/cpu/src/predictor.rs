@@ -32,10 +32,14 @@ impl Default for PredictorConfig {
 }
 
 /// A pattern-history-table predictor with 2-bit saturating counters.
+///
+/// The PHT is [`Arc`](std::sync::Arc)-shared so checkpoint capture is a
+/// reference bump;
+/// the first training after a clone copies the table back out.
 #[derive(Clone, Debug)]
 pub struct BranchPredictor {
     cfg: PredictorConfig,
-    pht: Vec<u8>,
+    pht: std::sync::Arc<Vec<u8>>,
     lookups: u64,
     mispredicts: u64,
 }
@@ -50,7 +54,7 @@ impl BranchPredictor {
         assert!(cfg.pht_entries.is_power_of_two());
         assert!(cfg.reset_value <= 3);
         BranchPredictor {
-            pht: vec![cfg.reset_value; cfg.pht_entries],
+            pht: std::sync::Arc::new(vec![cfg.reset_value; cfg.pht_entries]),
             cfg,
             lookups: 0,
             mispredicts: 0,
@@ -76,7 +80,7 @@ impl BranchPredictor {
     /// the earlier prediction was wrong.
     pub fn train(&mut self, pc: usize, taken: bool, was_mispredict: bool) {
         let idx = self.index(pc);
-        let c = &mut self.pht[idx];
+        let c = &mut std::sync::Arc::make_mut(&mut self.pht)[idx];
         if taken {
             *c = (*c + 1).min(3);
         } else {
@@ -92,14 +96,15 @@ impl BranchPredictor {
     /// priming technique).
     pub fn prime(&mut self, pc: usize, taken: bool) {
         let idx = self.index(pc);
-        self.pht[idx] = if taken { 3 } else { 0 };
+        std::sync::Arc::make_mut(&mut self.pht)[idx] = if taken { 3 } else { 0 };
     }
 
     /// Resets every counter — the enclave-boundary predictor flush
     /// countermeasure the paper notes "puts it into a known state".
     pub fn flush(&mut self) {
-        for c in &mut self.pht {
-            *c = self.cfg.reset_value;
+        let reset = self.cfg.reset_value;
+        for c in std::sync::Arc::make_mut(&mut self.pht) {
+            *c = reset;
         }
     }
 

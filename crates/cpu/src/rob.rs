@@ -43,6 +43,82 @@ impl Src {
     }
 }
 
+/// An inline source-operand list. Every ISA instruction reads at most
+/// two registers, so the operands live directly in the ROB entry —
+/// dispatch, squash and checkpoint capture never touch the heap for
+/// them (operand traffic is the hottest allocation site in the core).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SrcList {
+    items: [Src; 2],
+    len: u8,
+}
+
+impl Default for Src {
+    fn default() -> Self {
+        Src::Ready(0)
+    }
+}
+
+impl SrcList {
+    /// An empty operand list.
+    pub const fn new() -> Self {
+        SrcList {
+            items: [Src::Ready(0), Src::Ready(0)],
+            len: 0,
+        }
+    }
+
+    /// Appends one operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics past two operands (no ISA instruction has more).
+    pub fn push(&mut self, s: Src) {
+        self.items[self.len as usize] = s;
+        self.len += 1;
+    }
+
+    /// The operands as a slice.
+    pub fn as_slice(&self) -> &[Src] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the operands.
+    pub fn iter(&self) -> std::slice::Iter<'_, Src> {
+        self.as_slice().iter()
+    }
+
+    /// First operand, if present.
+    pub fn first(&self) -> Option<&Src> {
+        self.as_slice().first()
+    }
+
+    /// Operand at `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<&Src> {
+        self.as_slice().get(idx)
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<Src> for SrcList {
+    fn from_iter<I: IntoIterator<Item = Src>>(iter: I) -> Self {
+        let mut list = SrcList::new();
+        for s in iter {
+            list.push(s);
+        }
+        list
+    }
+}
+
 /// One in-flight instruction.
 #[derive(Clone, Debug)]
 pub struct RobEntry {
@@ -57,7 +133,7 @@ pub struct RobEntry {
     /// Result value (valid once `Done`).
     pub value: u64,
     /// Source operands, parallel to `inst.sources()`.
-    pub srcs: Vec<Src>,
+    pub srcs: SrcList,
     /// Fault discovered at execute, delivered when the entry retires.
     pub fault: Option<PageFault>,
     /// For branches: the direction predicted at fetch.
@@ -84,25 +160,32 @@ impl RobEntry {
         self.srcs.iter().all(|s| matches!(s, Src::Ready(_)))
     }
 
-    /// The resolved source values.
+    /// The resolved source values (unused slots read 0).
     ///
     /// # Panics
     ///
     /// Panics if any source is still pending.
-    pub fn src_values(&self) -> Vec<u64> {
-        self.srcs
-            .iter()
-            .map(|s| s.value().expect("operand not ready"))
-            .collect()
+    pub fn src_values(&self) -> [u64; 2] {
+        let mut vals = [0u64; 2];
+        for (i, s) in self.srcs.iter().enumerate() {
+            vals[i] = s.value().expect("operand not ready");
+        }
+        vals
     }
 
     /// Substitutes `value` for any pending reference to producer `seq`.
-    pub fn deliver(&mut self, seq: u64, value: u64) {
-        for s in &mut self.srcs {
-            if *s == Src::Pending(seq) {
-                *s = Src::Ready(value);
+    /// Returns whether any operand was resolved (operands only ever move
+    /// `Pending` → `Ready`, so a `true` here is the one event that can turn
+    /// a waiting entry issuable).
+    pub fn deliver(&mut self, seq: u64, value: u64) -> bool {
+        let mut hit = false;
+        for i in 0..self.srcs.len() {
+            if self.srcs.items[i] == Src::Pending(seq) {
+                self.srcs.items[i] = Src::Ready(value);
+                hit = true;
             }
         }
+        hit
     }
 
     /// The virtual byte range `[lo, hi)` a memory op will touch, resolved
@@ -138,7 +221,7 @@ mod tests {
     use super::*;
     use crate::isa::AluOp;
 
-    fn entry(srcs: Vec<Src>) -> RobEntry {
+    fn entry(srcs: SrcList) -> RobEntry {
         RobEntry {
             seq: 1,
             pc: 0,
@@ -164,23 +247,23 @@ mod tests {
 
     #[test]
     fn delivery_resolves_pending_operands() {
-        let mut e = entry(vec![Src::Pending(7), Src::Ready(3)]);
+        let mut e = entry([Src::Pending(7), Src::Ready(3)].into_iter().collect());
         assert!(!e.srcs_ready());
         e.deliver(7, 40);
         assert!(e.srcs_ready());
-        assert_eq!(e.src_values(), vec![40, 3]);
+        assert_eq!(e.src_values(), [40, 3]);
     }
 
     #[test]
     fn delivery_ignores_other_seqs() {
-        let mut e = entry(vec![Src::Pending(7)]);
+        let mut e = entry([Src::Pending(7)].into_iter().collect());
         e.deliver(8, 99);
         assert!(!e.srcs_ready());
     }
 
     #[test]
     fn completion_states() {
-        let mut e = entry(vec![]);
+        let mut e = entry(SrcList::new());
         assert!(!e.is_complete());
         e.state = RobState::Done;
         assert!(e.is_complete());

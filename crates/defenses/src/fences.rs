@@ -3,7 +3,7 @@
 //! defense-audit mode verifies.
 
 use crate::DefenseOutcome;
-use microscope_core::{SessionBuilder, SimConfig};
+use microscope_core::{RunRequest, SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, CoreConfig, Inst, Program, Reg};
 use microscope_mem::VAddr;
 use microscope_victims::layout::DataLayout;
@@ -94,7 +94,9 @@ fn transmit_executions(fence_after_flush: bool, replays: u64) -> u64 {
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     b.module().recipe_mut(id).replays_per_step = replays;
     let mut session = b.build().expect("fence-eval session has a victim");
-    let report = session.run(50_000_000);
+    let report = session
+        .execute(RunRequest::cold(50_000_000))
+        .expect("a cold run cannot fail");
     let stats = report.stats.contexts[0];
     // handle executions = faults + the final successful one.
     stats.loads_executed - (stats.page_faults + 1)

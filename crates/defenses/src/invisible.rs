@@ -8,7 +8,7 @@
 
 use crate::DefenseOutcome;
 use microscope_channels::port_contention::{self, PortContentionConfig};
-use microscope_core::{denoise, SessionBuilder, SimConfig};
+use microscope_core::{denoise, RunRequest, SessionBuilder, SimConfig};
 use microscope_cpu::{Assembler, ContextId, CoreConfig, Reg};
 use microscope_mem::{VAddr, LINE_BYTES};
 use microscope_os::WalkTuning;
@@ -47,7 +47,9 @@ pub fn cache_leak_observations(invisible: bool, secret: u64, replays: u64) -> u6
         }
     }
     let mut session = b.build().expect("invisible-spec session has a victim");
-    let report = session.run(20_000_000);
+    let report = session
+        .execute(RunRequest::cold(20_000_000))
+        .expect("a cold run cannot fail");
     let secret_line = table.offset(secret * LINE_BYTES);
     report
         .module
@@ -123,7 +125,7 @@ fn run_with_invisible(secret: bool, invisible: bool, cfg: &PortContentionConfig)
     }
     let mut session = b.build().expect("invisible-spec session has a victim");
     session
-        .run_until_monitor_done(cfg.max_cycles)
+        .execute(RunRequest::cold(cfg.max_cycles).until_monitor_done())
         .expect("invisible-spec session has a monitor")
         .monitor_samples
 }

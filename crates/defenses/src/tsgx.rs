@@ -8,7 +8,7 @@
 //! to MicroScope. Such number can be sufficient in many attacks."
 
 use crate::DefenseOutcome;
-use microscope_core::SessionBuilder;
+use microscope_core::{RunRequest, SessionBuilder};
 use microscope_cpu::{AluOp, Cond, ContextId, Inst, Program, Reg};
 use microscope_mem::VAddr;
 use microscope_victims::layout::DataLayout;
@@ -104,7 +104,9 @@ pub fn attack_protected_victim(n: u64) -> TsgxAttackResult {
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     b.module().recipe_mut(id).replays_per_step = u64::MAX;
     let mut session = b.build().expect("tsgx session has a victim");
-    let report = session.run(50_000_000);
+    let report = session
+        .execute(RunRequest::cold(50_000_000))
+        .expect("a cold run cannot fail");
     let stats = report.stats.contexts[0];
     TsgxAttackResult {
         aborts: stats.txn_aborts,
@@ -134,7 +136,9 @@ pub fn evaluate(n: u64) -> DefenseOutcome {
         let id = b.module().provide_replay_handle(ContextId(0), handle);
         b.module().recipe_mut(id).replays_per_step = 50;
         let mut session = b.build().expect("tsgx baseline session has a victim");
-        let report = session.run(50_000_000);
+        let report = session
+            .execute(RunRequest::cold(50_000_000))
+            .expect("a cold run cannot fail");
         let stats = report.stats.contexts[0];
         stats.loads_executed - (stats.page_faults + 1)
     };

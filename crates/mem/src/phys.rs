@@ -1,16 +1,41 @@
-//! Sparse, byte-addressable physical memory with a frame allocator.
+//! Sparse, byte-addressable physical memory with a frame allocator and
+//! copy-on-write paging.
+//!
+//! # Copy-on-write frame model
+//!
+//! The whole point of MicroScope is that one logical victim run is denoised
+//! into thousands of replays, and every replay starts by rewinding the
+//! machine to the armed checkpoint. The naive snapshot — deep-cloning every
+//! resident page — makes checkpoint capture and restore O(memory size),
+//! which caps replay throughput long before the core model does.
+//!
+//! [`PhysMem`] therefore shares its pages:
+//!
+//! * the page table (`ppn → page`) is an [`Arc`]-shared map, so **cloning a
+//!   `PhysMem` is one reference bump** — O(1), no byte is copied;
+//! * each page is itself an [`Arc`]-shared 4 KiB frame, so the first write
+//!   after a clone copies **only the written page** ([`Arc::make_mut`]),
+//!   never the whole store;
+//! * per-epoch dirty counters ([`PhysMem::epoch_dirty_pages`]) let the
+//!   checkpoint layer report restore cost as *pages actually dirtied
+//!   between capture and rewind*, pinning the O(dirty) claim in benches.
+//!
+//! Reads of never-written memory still return zeros (as if backed by the
+//! zero page). Page tables, victim data, monitor buffers and AES tables all
+//! live here, which is what lets the cache hierarchy treat them uniformly —
+//! and what makes the CoW sharing pay for the page-table frames too.
 
 use microscope_cache::{PAddr, PAGE_BYTES};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE: usize = PAGE_BYTES as usize;
 
-/// Simulated physical memory.
-///
-/// Pages are allocated lazily; reads of never-written memory return zeros
-/// (as if backed by the zero page). Page tables, victim data, monitor
-/// buffers and AES tables all live here, which is what lets the cache
-/// hierarchy treat them uniformly.
+/// One 4 KiB physical frame.
+type Page = [u8; PAGE];
+
+/// Simulated physical memory (copy-on-write paged; see the module docs).
 ///
 /// ```
 /// use microscope_mem::{PhysMem, PAddr};
@@ -21,11 +46,38 @@ const PAGE: usize = PAGE_BYTES as usize;
 /// assert_eq!(m.read_u64(addr), 0xdead_beef);
 /// assert_eq!(m.read_u32(addr), 0xdead_beef);
 /// assert_eq!(m.read_u8(addr.offset(3)), 0xde);
+///
+/// // A clone is a snapshot: it shares every page until one side writes.
+/// let snap = m.clone();
+/// m.write_u64(addr, 1);
+/// assert_eq!(snap.read_u64(addr), 0xdead_beef);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    pages: Arc<HashMap<u64, Arc<Page>>>,
     next_frame: u64,
+    /// Pages copied by CoW since construction (monotone while this lineage
+    /// lives; a restore rewinds it to the captured value, which is how the
+    /// checkpoint layer computes per-epoch deltas).
+    cow_copied: Cell<u64>,
+    /// Distinct pages dirtied since the last [`PhysMem::begin_epoch`].
+    epoch_dirty: Cell<u64>,
+    /// Times the shared page *table* was copied (first write after a clone).
+    table_copies: Cell<u64>,
+}
+
+impl Clone for PhysMem {
+    /// O(1): bumps the shared page-table reference. No page is copied until
+    /// one of the clones writes.
+    fn clone(&self) -> Self {
+        PhysMem {
+            pages: Arc::clone(&self.pages),
+            next_frame: self.next_frame,
+            cow_copied: self.cow_copied.clone(),
+            epoch_dirty: self.epoch_dirty.clone(),
+            table_copies: self.table_copies.clone(),
+        }
+    }
 }
 
 impl PhysMem {
@@ -33,8 +85,11 @@ impl PhysMem {
     /// out) so a zero PPN can act as a null sentinel in page tables.
     pub fn new() -> Self {
         PhysMem {
-            pages: HashMap::new(),
+            pages: Arc::new(HashMap::new()),
             next_frame: 1,
+            cow_copied: Cell::new(0),
+            epoch_dirty: Cell::new(0),
+            table_copies: Cell::new(0),
         }
     }
 
@@ -62,12 +117,69 @@ impl PhysMem {
         self.pages.len()
     }
 
-    fn page(&self, ppn: u64) -> Option<&[u8; PAGE]> {
+    /// Pages copied by copy-on-write since this store (lineage) was built.
+    /// Feeds the `checkpoint.pages_cow` metric.
+    pub fn cow_copied_pages(&self) -> u64 {
+        self.cow_copied.get()
+    }
+
+    /// Times the shared page table itself was duplicated (first write after
+    /// a snapshot). One per capture/restore epoch in steady replay.
+    pub fn table_copies(&self) -> u64 {
+        self.table_copies.get()
+    }
+
+    /// Distinct pages dirtied since the last [`PhysMem::begin_epoch`] call
+    /// — exactly the pages a rewind to that epoch's snapshot discards.
+    pub fn epoch_dirty_pages(&self) -> u64 {
+        self.epoch_dirty.get()
+    }
+
+    /// Marks an epoch boundary (a checkpoint capture or restore): resets
+    /// the per-epoch dirty-page counter. Interior-mutable so the snapshot
+    /// path, which only has `&self`, can mark it too.
+    pub fn begin_epoch(&self) {
+        self.epoch_dirty.set(0);
+    }
+
+    /// Whether the given page is currently shared with a snapshot (its next
+    /// write will CoW-copy it).
+    pub fn page_is_shared(&self, ppn: u64) -> bool {
+        Arc::strong_count(&self.pages) > 1
+            || self
+                .pages
+                .get(&ppn)
+                .is_some_and(|p| Arc::strong_count(p) > 1)
+    }
+
+    fn page(&self, ppn: u64) -> Option<&Page> {
         self.pages.get(&ppn).map(|b| &**b)
     }
 
-    fn page_mut(&mut self, ppn: u64) -> &mut [u8; PAGE] {
-        self.pages.entry(ppn).or_insert_with(|| Box::new([0; PAGE]))
+    /// The writable view of a page, materializing or CoW-copying as needed.
+    fn page_mut(&mut self, ppn: u64) -> &mut Page {
+        if Arc::strong_count(&self.pages) > 1 {
+            self.table_copies.set(self.table_copies.get() + 1);
+        }
+        let table = Arc::make_mut(&mut self.pages);
+        let slot = match table.entry(ppn) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = e.into_mut();
+                if Arc::strong_count(slot) > 1 {
+                    // First write to this page since a snapshot: copy it now.
+                    self.cow_copied.set(self.cow_copied.get() + 1);
+                    self.epoch_dirty.set(self.epoch_dirty.get() + 1);
+                }
+                slot
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // A fresh materialization is epoch-dirty too: a rewind to
+                // the epoch's snapshot discards it like any other write.
+                self.epoch_dirty.set(self.epoch_dirty.get() + 1);
+                e.insert(Arc::new([0u8; PAGE]))
+            }
+        };
+        Arc::make_mut(slot)
     }
 
     /// Reads one byte.
@@ -212,5 +324,53 @@ mod tests {
     fn bad_size_panics() {
         let m = PhysMem::new();
         let _ = m.read_sized(PAddr(0), 3);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot_and_writes_are_isolated() {
+        let mut m = PhysMem::new();
+        for i in 0..64u64 {
+            m.write_u64(PAddr(0x1000 * (i + 1)), i);
+        }
+        let snap = m.clone();
+        assert!(m.page_is_shared(1));
+        // Mutate a handful of pages in the live store.
+        m.write_u64(PAddr(0x1000), 999);
+        m.write_u64(PAddr(0x2000), 998);
+        // Snapshot still sees the captured bytes.
+        assert_eq!(snap.read_u64(PAddr(0x1000)), 0);
+        assert_eq!(snap.read_u64(PAddr(0x2000)), 1);
+        assert_eq!(m.read_u64(PAddr(0x1000)), 999);
+        // Restoring = cloning the snapshot back.
+        let restored = snap.clone();
+        assert_eq!(restored.read_u64(PAddr(0x1000)), 0);
+        assert_eq!(restored.read_u64(PAddr(0x2000)), 1);
+    }
+
+    #[test]
+    fn cow_copies_count_only_dirtied_pages() {
+        let mut m = PhysMem::new();
+        for i in 0..100u64 {
+            m.write_u64(PAddr(0x1000 * (i + 1)), i);
+        }
+        let base_cow = m.cow_copied_pages();
+        let _snap = m.clone();
+        m.begin_epoch();
+        // Dirty 3 distinct pages, one of them twice.
+        m.write_u8(PAddr(0x1000), 1);
+        m.write_u8(PAddr(0x1008), 2);
+        m.write_u8(PAddr(0x2000), 3);
+        m.write_u8(PAddr(0x3000), 4);
+        assert_eq!(m.epoch_dirty_pages(), 3);
+        assert_eq!(m.cow_copied_pages() - base_cow, 3);
+    }
+
+    #[test]
+    fn unshared_writes_do_not_count_as_cow() {
+        let mut m = PhysMem::new();
+        m.write_u64(PAddr(0x1000), 7);
+        m.write_u64(PAddr(0x1000), 8);
+        assert_eq!(m.cow_copied_pages(), 0);
+        assert_eq!(m.table_copies(), 0);
     }
 }

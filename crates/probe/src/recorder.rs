@@ -51,10 +51,14 @@ impl RecorderConfig {
 }
 
 /// Bounded ring buffer of [`Event`]s plus the ambient cycle/replay stamps.
+///
+/// The ring storage is [`Rc`]-shared so a [`Probe::snapshot`] is a
+/// reference bump, not a copy of the event stream; the first record after
+/// a snapshot lazily copies the ring back out ([`Rc::make_mut`]).
 #[derive(Clone, Debug)]
 pub struct Recorder {
     capacity: usize,
-    buf: Vec<Event>,
+    buf: Rc<Vec<Event>>,
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
     dropped: u64,
@@ -68,7 +72,7 @@ impl Recorder {
         let capacity = capacity.max(1);
         Recorder {
             capacity,
-            buf: Vec::with_capacity(capacity.min(4096)),
+            buf: Rc::new(Vec::with_capacity(capacity.min(4096))),
             head: 0,
             dropped: 0,
             cycle: 0,
@@ -78,10 +82,11 @@ impl Recorder {
 
     /// Records one event, overwriting (and counting) the oldest if full.
     pub fn record(&mut self, ev: Event) {
-        if self.buf.len() < self.capacity {
-            self.buf.push(ev);
+        let buf = Rc::make_mut(&mut self.buf);
+        if buf.len() < self.capacity {
+            buf.push(ev);
         } else {
-            self.buf[self.head] = ev;
+            buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
@@ -112,7 +117,7 @@ impl Recorder {
 
     /// Discards all events (the drop counter is reset too).
     pub fn clear(&mut self) {
-        self.buf.clear();
+        Rc::make_mut(&mut self.buf).clear();
         self.head = 0;
         self.dropped = 0;
     }

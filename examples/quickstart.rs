@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use microscope::core::{SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig, TraceKind};
 use microscope::enclave::EnclaveRegion;
 use microscope::mem::VAddr;
+use microscope::prelude::*;
 use microscope::victims::single_secret;
 
 fn main() {
@@ -41,7 +41,9 @@ fn main() {
     // 3. Run and inspect.
     // ------------------------------------------------------------------
     let mut session = b.build().expect("quickstart installs a victim");
-    let report = session.run(10_000_000);
+    let report = session
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail");
 
     println!("== MicroScope quickstart ==");
     println!(

@@ -45,8 +45,35 @@ rm -f "$BENCH_TMP"
 cargo run -q --release -p microscope-bench --bin perf_bench -- --smoke --out "$BENCH_TMP"
 test -s "$BENCH_TMP" || { echo "perf_bench emitted nothing" >&2; exit 1; }
 cargo run -q --release -p microscope-bench --bin perf_bench -- --validate "$BENCH_TMP"
+
+echo "== checkpoint capture regression gate (3x vs committed baseline) =="
+# Capture throughput is footprint-independent (the whole point of the CoW
+# engine), so even the smoke run must land within 3x of the committed
+# full-mode baseline; a bigger gap means capture went O(footprint) again.
+extract_capture_rate() {
+    awk -F': ' '/"checkpoint_capture_per_sec"/ { gsub(/[ ,]/, "", $2); print $2 }' "$1"
+}
+committed=$(extract_capture_rate BENCH_replay.json)
+smoke=$(extract_capture_rate "$BENCH_TMP")
+test -n "$committed" || { echo "BENCH_replay.json lacks checkpoint_capture_per_sec" >&2; exit 1; }
+test -n "$smoke" || { echo "smoke emit lacks checkpoint_capture_per_sec" >&2; exit 1; }
+awk -v c="$committed" -v s="$smoke" 'BEGIN {
+    if (s * 3 < c) {
+        printf "error: smoke checkpoint_capture_per_sec %.0f is more than 3x below the committed %.0f\n", s, c
+        exit 1
+    }
+    printf "capture rate ok: smoke %.0f/s vs committed %.0f/s\n", s, c
+}' || exit 1
 rm -f "$BENCH_TMP"
 # The committed baseline at the repo root must stay parseable too.
 cargo run -q --release -p microscope-bench --bin perf_bench -- --validate BENCH_replay.json
+
+echo "== examples use the execute(RunRequest) API =="
+# The run/rerun family is deprecated shims only; nothing user-facing may
+# still call it.
+if grep -nE '\.(run|rerun)\([0-9]|_until_monitor_done\(|run_cross_checked\(' examples/*.rs; then
+    echo "error: examples still call deprecated AttackSession run* methods" >&2
+    exit 1
+fi
 
 echo "CI OK"

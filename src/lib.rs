@@ -26,7 +26,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use microscope::core::SessionBuilder;
+//! use microscope::prelude::*;
 //! use microscope::cpu::ContextId;
 //! use microscope::mem::VAddr;
 //! use microscope::victims::single_secret;
@@ -44,11 +44,27 @@
 //! b.module().recipe_mut(id).replays_per_step = 10;
 //!
 //! let mut session = b.build().expect("a victim is installed");
-//! let report = session.run(10_000_000);
+//! let report = session.execute(RunRequest::cold(10_000_000)).expect("cold run");
 //! assert_eq!(report.replays(), 10);
 //! ```
 
 #![forbid(unsafe_code)]
+
+/// The one-line import for driving attacks: session assembly, run
+/// requests, sweeps, and their error types.
+///
+/// ```
+/// use microscope::prelude::*;
+/// let req = RunRequest::cold(1_000_000).from_checkpoint();
+/// assert!(req.is_from_checkpoint());
+/// ```
+pub mod prelude {
+    pub use microscope_core::sweep::{SweepError, SweepOutcome, SweepPoint, SweepSpec};
+    pub use microscope_core::{
+        AttackReport, AttackSession, BuildError, MonitorBuffer, RunError, RunRequest,
+        SessionBuilder, SimConfig,
+    };
+}
 
 pub use microscope_analyze as analyze;
 pub use microscope_cache as cache;

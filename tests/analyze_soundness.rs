@@ -8,7 +8,7 @@
 
 use microscope::analyze::analyze;
 use microscope::core::sweep::{SweepPoint, SweepSpec};
-use microscope::core::{SessionBuilder, SimConfig};
+use microscope::core::{RunRequest, SessionBuilder, SimConfig};
 use microscope::cpu::{AluOp, Assembler, ContextId, Program, Reg};
 use microscope::mem::{AddressSpace, PteFlags, VAddr, PAGE_BYTES};
 use microscope::probe::RecorderConfig;
@@ -115,13 +115,18 @@ fn measure(shape: &Shape) -> Measured {
     let baseline = b
         .build()
         .expect("victim installed")
-        .run(MAX_CYCLES)
+        .execute(RunRequest::cold(MAX_CYCLES))
+        .expect("a cold run cannot fail")
         .executions_of(0, transmitter_pc);
 
     let (mut b, _, _, _) = session_for(shape);
     let id = b.module().provide_replay_handle(ContextId(0), HANDLE_PAGE);
     b.module().recipe_mut(id).replays_per_step = 4;
-    let report = b.build().expect("victim installed").run(MAX_CYCLES);
+    let report = b
+        .build()
+        .expect("victim installed")
+        .execute(RunRequest::cold(MAX_CYCLES))
+        .expect("a cold run cannot fail");
     Measured {
         baseline,
         attacked: report.executions_of(0, transmitter_pc),

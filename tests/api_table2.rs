@@ -2,7 +2,7 @@
 //! `provide_replay_handle`, `provide_pivot`, `provide_monitor_addr`,
 //! `initiate_page_walk`, `initiate_page_fault`.
 
-use microscope::core::SessionBuilder;
+use microscope::core::{RunRequest, SessionBuilder};
 use microscope::cpu::ContextId;
 use microscope::mem::VAddr;
 use microscope::victims::loop_secret;
@@ -30,7 +30,9 @@ fn all_five_table2_operations_drive_a_working_attack() {
         recipe.prime_between_replays = true;
     }
     let mut session = b.build().expect("table2 session has a victim");
-    let report = session.run(50_000_000);
+    let report = session
+        .execute(RunRequest::cold(50_000_000))
+        .expect("a cold run cannot fail");
 
     // The attack stepped through the loop via the pivot...
     assert!(report.module.steps[0] >= secrets.len() as u64 - 1);

@@ -8,15 +8,19 @@
 //! 2. **Fast-forward is invisible** — idle-cycle clock jumps change
 //!    nothing observable: cycle-by-cycle and fast-forwarded execution
 //!    yield byte-identical reports (also enforced internally by
-//!    `run_cross_checked`).
+//!    `RunRequest::cross_checked`).
 //! 3. **The probe ring counts its drops** — a ring too small for the
 //!    event stream records `capacity` events and counts the rest, so
 //!    `recorded + dropped` equals the full stream's length.
+//! 4. **CoW restore is a deep-clone restore** — arbitrary interleaved
+//!    dirty writes between capture and restore never leak through a
+//!    copy-on-write snapshot: restoring it yields the same bytes a
+//!    byte-for-byte deep copy taken at capture time holds.
 
 use microscope::channels::port_contention::{self, PortContentionConfig};
-use microscope::core::{AttackReport, AttackSession, SessionBuilder};
+use microscope::core::{AttackReport, AttackSession, RunRequest, SessionBuilder};
 use microscope::cpu::{AluOp, Assembler, ContextId, CoreConfig, Reg};
-use microscope::mem::{PteFlags, VAddr};
+use microscope::mem::{PAddr, PhysMem, PteFlags, VAddr, PAGE_BYTES};
 use microscope::os::WalkTuning;
 use microscope::probe::RecorderConfig;
 use proptest::prelude::*;
@@ -121,15 +125,32 @@ proptest! {
     /// Property 1: cold re-execution vs restore-from-checkpoint.
     #[test]
     fn rerun_from_checkpoint_matches_cold_execution(k in arb_knobs()) {
-        let cold = bytes(&build(&k).run(BUDGET));
+        let cold = bytes(
+            &build(&k)
+                .execute(RunRequest::cold(BUDGET))
+                .expect("a cold run cannot fail"),
+        );
         let mut session = build(&k);
-        let first = session.run(BUDGET);
+        let first = session
+            .execute(RunRequest::cold(BUDGET))
+            .expect("a cold run cannot fail");
         prop_assert_eq!(&bytes(&first), &cold, "same build must replay identically");
         prop_assert!(session.armed_checkpoint().is_some(), "handle armed at build");
         for _ in 0..2 {
-            let again = session.rerun(BUDGET).expect("checkpoint captured");
+            let again = session
+                .execute(RunRequest::cold(BUDGET).from_checkpoint())
+                .expect("checkpoint captured");
             prop_assert_eq!(&bytes(&again), &cold, "rerun must be byte-identical to cold");
         }
+        // The counters the CoW engine threads through the session must
+        // never leak into the report (they differ between cold and warm
+        // executions, and byte-identity above would be unprovable).
+        let stats = session.checkpoint_metrics();
+        prop_assert!(matches!(
+            stats.get("checkpoint.restores"),
+            Some(microscope::probe::MetricValue::Count(n)) if n >= 2
+        ));
+        prop_assert!(!cold.contains("checkpoint.restores"));
     }
 
     /// Property 2: fast-forward on vs off (both cold and rerun paths).
@@ -137,21 +158,85 @@ proptest! {
     fn fast_forward_is_observationally_invisible(k in arb_knobs()) {
         let mut slow = build(&k);
         slow.machine_mut().set_fast_forward(false);
-        let slow_report = bytes(&slow.run(BUDGET));
+        let slow_report = bytes(
+            &slow
+                .execute(RunRequest::cold(BUDGET))
+                .expect("a cold run cannot fail"),
+        );
         let mut fast = build(&k);
-        let fast_report = bytes(&fast.run(BUDGET));
+        let fast_report = bytes(
+            &fast
+                .execute(RunRequest::cold(BUDGET))
+                .expect("a cold run cannot fail"),
+        );
         prop_assert_eq!(&fast_report, &slow_report);
         // And the built-in cross-check mode agrees with itself.
         let mut checked = build(&k);
-        checked.run(BUDGET);
-        let report = checked.run_cross_checked(BUDGET).expect("checkpoint captured");
+        checked
+            .execute(RunRequest::cold(BUDGET))
+            .expect("a cold run cannot fail");
+        let report = checked
+            .execute(RunRequest::cold(BUDGET).cross_checked())
+            .expect("checkpoint captured");
         prop_assert_eq!(&bytes(&report), &slow_report);
+    }
+
+    /// Property 4: a CoW snapshot restores exactly what a byte-for-byte
+    /// deep copy taken at the same instant holds, no matter what dirty
+    /// writes (to old pages or freshly allocated ones) land in between.
+    #[test]
+    fn cow_restore_matches_deep_clone_restore(
+        seed_writes in prop::collection::vec((0u64..8, 0u64..PAGE_BYTES, 0u8..255), 1..64),
+        dirty_writes in prop::collection::vec((0u64..12, 0u64..PAGE_BYTES, 0u8..255), 1..128),
+    ) {
+        let mut phys = PhysMem::new();
+        let base = phys.alloc_frames(8);
+        for &(frame, off, v) in &seed_writes {
+            phys.write_u8(PAddr((base + frame) * PAGE_BYTES + off), v);
+        }
+
+        // Deep clone: every resident byte, copied out by hand.
+        let deep: Vec<Vec<u8>> = (0..8)
+            .map(|frame| {
+                let mut page = vec![0u8; PAGE_BYTES as usize];
+                phys.read_bytes(PAddr((base + frame) * PAGE_BYTES), &mut page);
+                page
+            })
+            .collect();
+        // CoW clone: one Arc bump.
+        let snap = phys.clone();
+        phys.begin_epoch();
+
+        // Interleave dirty writes over the original: the first 8 frames
+        // are shared with `snap`, the rest are fresh allocations.
+        let extra = phys.alloc_frames(4);
+        for &(frame, off, v) in &dirty_writes {
+            let pa = if frame < 8 {
+                (base + frame) * PAGE_BYTES + off
+            } else {
+                (extra + frame - 8) * PAGE_BYTES + off
+            };
+            phys.write_u8(PAddr(pa), v);
+        }
+
+        // Restore is a clone of the snapshot — and must equal the deep copy.
+        let dirtied = phys.epoch_dirty_pages();
+        phys = snap.clone();
+        for (frame, want) in deep.iter().enumerate() {
+            let mut got = vec![0u8; PAGE_BYTES as usize];
+            phys.read_bytes(PAddr((base + frame as u64) * PAGE_BYTES), &mut got);
+            prop_assert_eq!(&got, want, "frame {} diverged after CoW restore", frame);
+        }
+        // Restore cost is bounded by what was actually dirtied, never the
+        // resident footprint.
+        prop_assert!(dirtied <= dirty_writes.len() as u64 + 4);
     }
 }
 
 /// The monitor path (SMT sibling sampling + step interrupts) round-trips
-/// through the checkpoint too: `rerun_until_monitor_done` reproduces the
-/// cold `run_until_monitor_done` report of an identically built session.
+/// through the checkpoint too: a checkpointed monitor-done request
+/// reproduces the cold monitor-done report of an identically built
+/// session.
 #[test]
 fn monitor_session_rerun_matches_cold() {
     let cfg = PortContentionConfig {
@@ -166,21 +251,83 @@ fn monitor_session_rerun_matches_cold() {
     let cold = {
         let mut s = port_contention::build_session(true, &cfg);
         bytes(
-            &s.run_until_monitor_done(cfg.max_cycles)
+            &s.execute(RunRequest::cold(cfg.max_cycles).until_monitor_done())
                 .expect("monitor installed"),
         )
     };
     let mut s = port_contention::build_session(true, &cfg);
     let first = bytes(
-        &s.run_until_monitor_done(cfg.max_cycles)
+        &s.execute(RunRequest::cold(cfg.max_cycles).until_monitor_done())
             .expect("monitor installed"),
     );
     assert_eq!(first, cold);
     let again = bytes(
-        &s.rerun_until_monitor_done(cfg.max_cycles)
-            .expect("checkpoint captured on first run"),
+        &s.execute(
+            RunRequest::cold(cfg.max_cycles)
+                .until_monitor_done()
+                .from_checkpoint(),
+        )
+        .expect("checkpoint captured on first run"),
     );
     assert_eq!(again, cold);
+}
+
+/// The sweep-level checkpoint cache must be invisible in the outcome:
+/// a grid whose points share one session-building prefix produces a
+/// byte-identical [`digest`](microscope::core::sweep::SweepOutcome::digest)
+/// whether every point cold-builds its own session or the points after
+/// the first replay a cached armed checkpoint.
+#[test]
+fn sweep_checkpoint_cache_hits_do_not_change_digest() {
+    use microscope::core::sweep::{CheckpointCache, SweepPoint, SweepSpec};
+    use microscope::core::SimConfig;
+
+    let knobs = Knobs {
+        ops: 12,
+        handle_frac: 50,
+        replays: 4,
+        rob_small: false,
+        walk_levels: 3,
+        probe_capacity: 1_000,
+    };
+    fn grid<'a>(spec: SweepSpec<'a, u64, AttackReport>) -> SweepSpec<'a, u64, AttackReport> {
+        (0..6).fold(spec, |s, i| {
+            s.point(format!("p{i}"), SimConfig::default(), i)
+        })
+    }
+
+    let uncached = grid(SweepSpec::new(
+        "cache-invariance",
+        |_pt: &SweepPoint<u64>| {
+            Ok(build(&knobs)
+                .execute(RunRequest::cold(BUDGET))
+                .expect("a cold run cannot fail"))
+        },
+    ))
+    .jobs(3)
+    .run();
+
+    let cache = CheckpointCache::new();
+    let cached = grid(SweepSpec::new(
+        "cache-invariance",
+        |_pt: &SweepPoint<u64>| {
+            // Every point shares the same build prefix, hence one cache key.
+            Ok(cache.execute(0, || build(&knobs), RunRequest::cold(BUDGET))?)
+        },
+    ))
+    .jobs(1)
+    .run();
+
+    assert_eq!(cached.digest(), uncached.digest());
+    assert_eq!(cache.misses(), 1, "one cold build arms the checkpoint");
+    assert_eq!(cache.hits(), 5, "every later point replays it");
+    // The hit/miss counters surface as metrics, outside the digest.
+    let m = cache.metrics();
+    assert_eq!(
+        m.get("checkpoint.cache_hits"),
+        Some(microscope::probe::MetricValue::Count(5))
+    );
+    assert!(!cached.digest().contains("cache_hits"));
 }
 
 /// Property 3: the ring's counted-drops invariant. A roomy ring captures
@@ -196,7 +343,9 @@ fn probe_ring_overflow_counts_every_dropped_event() {
         walk_levels: 4,
         probe_capacity: 1_000_000,
     };
-    let full = build(&k).run(BUDGET);
+    let full = build(&k)
+        .execute(RunRequest::cold(BUDGET))
+        .expect("a cold run cannot fail");
     assert_eq!(full.dropped_events, 0, "roomy ring must not drop");
     let emitted = full.trace.len() as u64;
 
@@ -205,7 +354,8 @@ fn probe_ring_overflow_counts_every_dropped_event() {
         probe_capacity: tiny_cap as usize,
         ..k
     })
-    .run(BUDGET);
+    .execute(RunRequest::cold(BUDGET))
+    .expect("a cold run cannot fail");
     assert!(emitted > tiny_cap, "workload must overflow the tiny ring");
     assert_eq!(
         tiny.trace.len() as u64,

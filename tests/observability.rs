@@ -1,7 +1,7 @@
 //! Cross-layer observability: the probe's event stream, the Fig.-3 phase
 //! reconstruction, the exporters, and the per-replay analytics.
 
-use microscope::core::{AttackReport, SessionBuilder, SimConfig};
+use microscope::core::{AttackReport, RunRequest, SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig};
 use microscope::mem::VAddr;
 use microscope::probe::timeline::{reconstruct, Phase};
@@ -26,7 +26,9 @@ fn traced_attack(replays: u64) -> AttackReport {
     b.module().provide_monitor_addr(id, layout.secrets);
     b.module().recipe_mut(id).replays_per_step = replays;
     let mut session = b.build().expect("observability session has a victim");
-    session.run(10_000_000)
+    session
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail")
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! architectural results (which is precisely why SGX's integrity story
 //! does not notice it).
 
-use microscope::core::SessionBuilder;
+use microscope::core::{RunRequest, SessionBuilder};
 use microscope::cpu::{AluOp, Assembler, ContextId, Program, Reg};
 use microscope::mem::{AddressSpace, PhysMem, VAddr, PAGE_BYTES};
 use microscope::victims::layout::DataLayout;
@@ -92,7 +92,9 @@ fn run(ops: &[Op], handle_pos: usize, replays: u64) -> (Vec<u64>, Vec<u64>) {
         b.module().recipe_mut(id).replays_per_step = replays;
     }
     let mut session = b.build().expect("idempotence session has a victim");
-    let report = session.run(80_000_000);
+    let report = session
+        .execute(RunRequest::cold(80_000_000))
+        .expect("a cold run cannot fail");
     assert!(
         session.machine().context(ContextId(0)).halted(),
         "victim must finish (replays={replays}, exit={:?})",

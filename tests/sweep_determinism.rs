@@ -5,7 +5,7 @@
 //! of it. Scheduling order must never leak into results.
 
 use microscope::core::sweep::{SweepOutcome, SweepPoint, SweepSpec};
-use microscope::core::{AttackReport, SessionBuilder, SimConfig};
+use microscope::core::{AttackReport, RunRequest, SessionBuilder, SimConfig};
 use microscope::cpu::{Assembler, ContextId, CoreConfig, Reg};
 use microscope::mem::{PteFlags, VAddr};
 use microscope::os::WalkTuning;
@@ -67,7 +67,8 @@ fn run_point(pt: &SweepPoint<Knobs>) -> AttackReport {
     }
     b.build()
         .expect("determinism-test session has a victim")
-        .run(10_000_000)
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail")
 }
 
 fn run_grid(grid: &[Knobs], jobs: usize) -> SweepOutcome<Knobs, AttackReport> {
@@ -136,7 +137,11 @@ fn sim_config_is_the_single_configuration_surface() {
     b.victim(asm.finish(), aspace);
     let id = b.module().provide_replay_handle(ContextId(0), handle);
     b.module().recipe_mut(id).replays_per_step = 3;
-    let report = b.build().expect("victim installed").run(10_000_000);
+    let report = b
+        .build()
+        .expect("victim installed")
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail");
     assert_eq!(report.replays(), 3);
 }
 
@@ -161,8 +166,8 @@ fn builder_and_run_errors_are_results_not_panics() {
     b.victim(asm.finish(), aspace);
     let mut session = b.build().expect("victim installed");
     let err = session
-        .run_until_monitor_done(1_000_000)
+        .execute(RunRequest::cold(1_000_000).until_monitor_done())
         .expect_err("no monitor installed");
-    assert_eq!(err, RunError::NoMonitor);
+    assert!(matches!(err, RunError::NoMonitor { .. }));
     assert!(err.to_string().contains("monitor"));
 }

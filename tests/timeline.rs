@@ -1,6 +1,6 @@
 //! Figure-3 timeline structure and the enclave information boundary.
 
-use microscope::core::{SessionBuilder, SimConfig};
+use microscope::core::{RunRequest, SessionBuilder, SimConfig};
 use microscope::cpu::{ContextId, CoreConfig, TraceKind};
 use microscope::enclave::EnclaveRegion;
 use microscope::mem::VAddr;
@@ -28,7 +28,9 @@ fn attacked_session(replays: u64, enclave: bool) -> microscope::core::AttackSess
 #[test]
 fn replay_cycle_has_the_figure3_event_order() {
     let mut session = attacked_session(4, false);
-    let report = session.run(10_000_000);
+    let report = session
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail");
     assert_eq!(report.replays(), 4);
     // Walk the trace: every Fault must be followed (eventually) by a
     // page-fault Squash and a HandlerReturn, and the same pc must fault
@@ -63,7 +65,9 @@ fn replay_cycle_has_the_figure3_event_order() {
 #[test]
 fn enclave_hides_the_page_offset_from_the_os() {
     let mut session = attacked_session(2, true);
-    let report = session.run(10_000_000);
+    let report = session
+        .execute(RunRequest::cold(10_000_000))
+        .expect("a cold run cannot fail");
     assert_eq!(report.replays(), 2);
     for (_, vaddr) in &report.module.fault_log {
         assert_eq!(
@@ -85,7 +89,9 @@ fn run_once_attestation_does_not_stop_microarchitectural_replay() {
 
     // Within that single permitted launch:
     let mut session = attacked_session(25, true);
-    let report = session.run(20_000_000);
+    let report = session
+        .execute(RunRequest::cold(20_000_000))
+        .expect("a cold run cannot fail");
     assert_eq!(permit.input_id(), 7);
     assert_eq!(
         report.replays(),
